@@ -1,0 +1,46 @@
+"""Shared benchmark utilities.
+
+Heavy experiment computations run once per session (fixtures below);
+``benchmark`` then measures a representative kernel of each experiment
+so ``pytest benchmarks/ --benchmark-only`` produces a timing table.
+Every regenerated paper table is printed and also written under
+``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def effectiveness_outcomes():
+    from repro.bench import run_effectiveness
+
+    return run_effectiveness()
+
+
+@pytest.fixture(scope="session")
+def fig3_outcomes():
+    from repro.bench import run_fig3
+
+    return run_fig3()
+
+
+@pytest.fixture(scope="session")
+def fig4_result():
+    from repro.bench import run_fig4
+
+    return run_fig4(record_count=250, operation_count=250, value_size=96)

@@ -1,0 +1,95 @@
+"""Ablation — what the hoisting heuristic is worth (DESIGN.md §5).
+
+Sweeps the volatile:persistent call ratio of a shared helper and
+measures the run-time cost of the intraprocedural fix (flush inside the
+helper, paid by *every* caller) vs the hoisted fix (clone + call-site
+fence, paid only by persistent callers).  The intraprocedural penalty
+must grow linearly with the volatile traffic while the hoisted cost
+stays flat — the quantitative version of the paper's §3.2 argument.
+"""
+
+from repro.core import Hippocrates
+from repro.detect import pmemcheck_run
+from repro.interp import Interpreter
+from repro.ir import I64, ModuleBuilder, PTR
+
+from conftest import save_table
+
+
+def build_program(volatile_calls: int):
+    """A helper called ``volatile_calls`` times on DRAM and once on PM."""
+    mb = ModuleBuilder(f"sweep{volatile_calls}")
+    b = mb.function("fill", [("p", PTR), ("n", I64)], source_file="sweep.c")
+    p, n = b.function.args
+    i_slot = b.alloca(8)
+    b.store(0, i_slot)
+    cond = b.new_block("cond")
+    body = b.new_block("body")
+    done = b.new_block("done")
+    b.jmp(cond)
+    b.position_at_end(cond)
+    b.br(b.icmp("ult", b.load(i_slot), n), body, done)
+    b.position_at_end(body)
+    i = b.load(i_slot)
+    b.store(i, b.gep(p, b.mul(i, 8)))
+    b.store(b.add(i, 1), i_slot)
+    b.jmp(cond)
+    b.position_at_end(done)
+    b.ret()
+
+    b = mb.function("main", [], I64, source_file="sweep.c")
+    vol = b.call("vol_alloc", [512], PTR)
+    pm = b.call("pm_alloc", [512], PTR)
+    for _ in range(volatile_calls):
+        b.call("fill", [vol, 32])
+    b.call("fill", [pm, 32])
+    b.fence()
+    b.ret(0)
+    return mb.module
+
+
+def fixed_cost(volatile_calls: int, heuristic: str) -> int:
+    module = build_program(volatile_calls)
+    _, trace, interp = pmemcheck_run(module, lambda i: i.call("main"))
+    Hippocrates(module, trace, interp.machine, heuristic=heuristic).fix()
+    rerun = Interpreter(module)
+    rerun.call("main")
+    return rerun.costs.cycles
+
+
+def test_hoisting_value_grows_with_volatile_traffic(benchmark):
+    lines = ["volatile_calls  intra_cycles  hoisted_cycles  penalty"]
+    penalties = []
+    for volatile_calls in (0, 2, 4, 8, 16):
+        intra = fixed_cost(volatile_calls, "off")
+        hoisted = fixed_cost(volatile_calls, "full")
+        penalty = intra / hoisted
+        penalties.append((volatile_calls, penalty))
+        lines.append(
+            f"{volatile_calls:14d}  {intra:12d}  {hoisted:14d}  {penalty:7.2f}x"
+        )
+    save_table("ablation_heuristic.txt", "\n".join(lines))
+
+    # The hoisted build never loses, and the intraprocedural penalty
+    # increases monotonically with volatile traffic.
+    ratios = [p for _, p in penalties]
+    assert all(r >= 0.99 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 2.0  # heavy volatile sharing: multi-x penalty
+
+    benchmark(lambda: fixed_cost(4, "full"))
+
+
+def test_hoisted_and_intra_fixes_equally_correct(benchmark):
+    """The ablation changes cost only: both modes are pmemcheck-clean."""
+
+    def both_clean():
+        for heuristic in ("off", "full"):
+            module = build_program(4)
+            _, trace, interp = pmemcheck_run(module, lambda i: i.call("main"))
+            Hippocrates(module, trace, interp.machine, heuristic=heuristic).fix()
+            after, _, _ = pmemcheck_run(module, lambda i: i.call("main"))
+            assert after.bug_count == 0
+        return True
+
+    assert benchmark(both_clean)

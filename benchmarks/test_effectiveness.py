@@ -1,0 +1,36 @@
+"""E2 — §6.1 Effectiveness: fix all 23 reproduced bugs and revalidate.
+
+The paper: "Hippocrates automatically repairs all 23 bugs we find and
+reproduce. We validate ... by re-running pmemcheck against the repaired
+programs."  The benchmark kernel is one full detect+fix+revalidate
+cycle on the P-CLHT target.
+"""
+
+from repro.bench import effectiveness_table, run_case
+from repro.corpus import pclht_case
+
+from conftest import save_table
+
+
+def test_effectiveness_all_23_bugs(benchmark, effectiveness_outcomes):
+    outcomes = effectiveness_outcomes
+    save_table("effectiveness.txt", effectiveness_table(outcomes))
+
+    # 13 cases covering 23 bugs: 11 PMDK issues + 2 P-CLHT + 10 memcached.
+    assert len(outcomes) == 13
+    pmdk = [o for o in outcomes if o.case.system == "PMDK"]
+    assert len(pmdk) == 11
+    total_issue_bugs = (
+        len(pmdk)
+        + [o for o in outcomes if o.case.case_id == "P-CLHT"][0].reports_found
+        + [o for o in outcomes if o.case.case_id == "memcached-pm"][0].reports_found
+    )
+    assert total_issue_bugs == 23
+
+    for outcome in outcomes:
+        assert outcome.reports_found == outcome.case.expected_reports
+        assert outcome.reports_after_fix == 0, outcome.case.case_id
+        assert outcome.fixed
+
+    # Benchmark kernel: one complete repair cycle.
+    benchmark(lambda: run_case(pclht_case()))

@@ -1,0 +1,38 @@
+"""E1 — Fig. 1: the 26-bug study table.
+
+Regenerates the paper's bug-study statistics from the dataset and
+checks every published aggregate exactly.
+"""
+
+from repro.corpus import (
+    API_MISUSE,
+    CORE_LIBRARY,
+    STUDY,
+    fig1_table,
+    group_stats,
+    overall_stats,
+)
+
+from conftest import save_table
+
+
+def test_fig1_bug_study(benchmark):
+    table = benchmark(fig1_table)
+    save_table("fig1_bug_study.txt", table)
+
+    assert len(STUDY) == 26
+    core = group_stats(CORE_LIBRARY)
+    misuse = group_stats(API_MISUSE)
+    overall = overall_stats()
+    # Fig. 1's published aggregates.
+    assert (core["avg_commits"], core["avg_days"], core["max_days"]) == (17, 33, 66)
+    assert (misuse["avg_commits"], misuse["avg_days"], misuse["max_days"]) == (
+        2,
+        15,
+        38,
+    )
+    assert (overall["avg_commits"], overall["avg_days"], overall["max_days"]) == (
+        13,
+        28,
+        66,
+    )

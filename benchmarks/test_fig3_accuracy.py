@@ -1,0 +1,34 @@
+"""E3 — Fig. 3: qualitative comparison with developer fixes.
+
+The paper: 8/11 fixes functionally identical to the PMDK developers'
+(interprocedural flush+fence), 3/11 functionally equivalent but the
+developer fix is more machine-portable (issues 452, 940, 943:
+intraprocedural clwb vs interprocedural pmem_flush).
+"""
+
+from repro.bench import fig3_table, run_case
+from repro.corpus import EQUIVALENT_PORTABLE, IDENTICAL, pmdk_cases
+
+from conftest import save_table
+
+
+def test_fig3_accuracy(benchmark, fig3_outcomes):
+    outcomes = fig3_outcomes
+    save_table("fig3_accuracy.txt", fig3_table(outcomes))
+
+    assert len(outcomes) == 11
+    identical = [o for o in outcomes if o.comparison == IDENTICAL]
+    equivalent = [o for o in outcomes if o.comparison == EQUIVALENT_PORTABLE]
+    assert len(identical) == 8
+    assert len(equivalent) == 3
+    assert sorted(o.case.case_id for o in equivalent) == [
+        "PMDK-452",
+        "PMDK-940",
+        "PMDK-943",
+    ]
+    # every case has a verdict; nothing fell into "different"
+    assert all(o.comparison in (IDENTICAL, EQUIVALENT_PORTABLE) for o in outcomes)
+
+    # Benchmark kernel: fix accuracy comparison for one issue.
+    case_447 = [c for c in pmdk_cases() if c.case_id == "PMDK-447"][0]
+    benchmark(lambda: run_case(case_447).comparison)

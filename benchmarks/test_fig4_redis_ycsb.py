@@ -1,0 +1,65 @@
+"""E4 — Fig. 4: YCSB throughput of the three persistent Redis variants.
+
+Shape targets from the paper (§6.3):
+
+- RedisH-full matches or exceeds Redis-pm on every workload, with its
+  largest win on Load (the paper reports +7%; the simulator lands in
+  the same low-single-digit range);
+- RedisH-full is 2.4-11.7x faster than RedisH-intra (the simulator's
+  spread sits inside / near that band, largest on read-heavy
+  workloads);
+- roughly a quarter of RedisH-full's fixes are interprocedural
+  (paper: 12/50), at hoist depths 1-2.
+
+The benchmark kernel is a 25-operation YCSB-A slice on the
+RedisH-full build.
+"""
+
+from repro.apps import KVStore
+from repro.bench import (
+    REDIS_FULL,
+    REDIS_INTRA,
+    REDIS_PM,
+    build_redis_variant,
+    fig4_table,
+)
+from repro.workloads import CORE_WORKLOADS, FIG4_ORDER, execute, generate_load, generate_run
+
+from conftest import save_table
+
+
+def test_fig4_redis_ycsb(benchmark, fig4_result):
+    result = fig4_result
+    save_table("fig4_redis_ycsb.txt", fig4_table(result))
+
+    assert list(result.results[REDIS_PM].keys()) == FIG4_ORDER
+
+    # RedisH-full ≥ Redis-pm on every workload (within 2% noise).
+    for workload, ratio in result.full_vs_manual().items():
+        assert ratio >= 0.98, (workload, ratio)
+    # ...and strictly ahead on Load, the most durability-heavy phase.
+    assert result.full_vs_manual()["Load"] > 1.0
+
+    # RedisH-full beats RedisH-intra everywhere, by a multi-x factor
+    # on at least half the workloads.
+    speedups = result.speedup_full_over_intra()
+    assert all(s > 1.5 for s in speedups.values()), speedups
+    assert sum(1 for s in speedups.values() if s >= 2.0) >= 4, speedups
+    assert max(speedups.values()) >= 3.0
+
+    # Fix-shape assertions (paper: 50 fixes, 12 interprocedural).
+    full_report = result.reports[REDIS_FULL]
+    intra_report = result.reports[REDIS_INTRA]
+    assert full_report.interprocedural_count >= 2
+    assert 0.05 < full_report.interprocedural_count / full_report.fixes_applied < 0.5
+    assert all(1 <= d <= 2 for d in full_report.hoist_depths)
+    assert intra_report.interprocedural_count == 0
+
+    # Benchmark kernel: a YCSB-A slice on the repaired store.
+    module, _ = build_redis_variant("full")
+    store = KVStore(module)
+    store.init(128, 1 << 22)
+    execute(store, generate_load(100, 96))
+    ops = generate_run(CORE_WORKLOADS["A"], 100, 25, 96, seed=3)
+
+    benchmark(lambda: execute(store, ops))

@@ -1,0 +1,44 @@
+"""E5 — Fig. 5: offline overhead of running Hippocrates.
+
+The paper reports seconds-to-minutes runtime and <1 GB peak memory per
+target; the reproduction's targets are proportionally smaller, so the
+assertions are on the same *feasibility* property (trivially within a
+development cycle: seconds and tens of MB here).
+"""
+
+from repro.apps import KVStore, build_kvstore
+from repro.bench import fig5_table, redis_trace_workload, run_fig5
+from repro.core import Hippocrates
+
+from conftest import save_table
+
+
+def test_fig5_offline_overhead(benchmark):
+    rows = run_fig5()
+    save_table("fig5_overhead.txt", fig5_table(rows))
+
+    targets = {row.target for row in rows}
+    assert "PMDK (Unit Tests)" in targets
+    assert "P-CLHT" in targets
+    assert "memcached-pm" in targets
+    assert "Redis-pmem" in targets
+    for row in rows:
+        assert row.seconds < 60, row
+        assert row.peak_mb < 512, row
+        assert row.bugs_fixed >= 1
+        assert row.ir_kinstr > 0
+
+    # Benchmark kernel: the complete Hippocrates pipeline on Redis
+    # (trace collection excluded, exactly as the paper measures it).
+    module = build_kvstore("noflush")
+    store = KVStore(module)
+    redis_trace_workload(store)
+    trace = store.finish()
+    machine = store.machine
+
+    def fix_fresh_redis():
+        fresh = build_kvstore("noflush")
+        return Hippocrates(fresh, trace, heuristic="full").fix()
+
+    report = benchmark(fix_fresh_redis)
+    assert report.bugs_fixed > 0

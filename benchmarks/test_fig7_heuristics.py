@@ -1,0 +1,35 @@
+"""E7 — §6.1: Full-AA and Trace-AA produce identical fixes.
+
+The paper: "Both of these heuristics produced the same set of fixes on
+all the systems we test, resulting in identical end binaries."  We
+compare the complete fixed-module text for every corpus target plus
+Redis.
+"""
+
+from repro.analysis import classify_full_aa, classify_trace_aa
+from repro.apps import KVStore, build_kvstore
+from repro.bench import heuristic_table, redis_trace_workload, run_heuristic_comparison
+
+from conftest import save_table
+
+
+def test_fig7_heuristic_equivalence(benchmark):
+    outcomes = run_heuristic_comparison()
+    save_table("fig7_heuristics.txt", heuristic_table(outcomes))
+
+    assert len(outcomes) == 14  # 13 corpus cases + Redis
+    for target, identical in outcomes:
+        assert identical, f"{target}: Full-AA and Trace-AA diverged"
+
+    # Benchmark kernel: one classification pass of each flavor.
+    module = build_kvstore("noflush")
+    store = KVStore(module)
+    redis_trace_workload(store)
+    trace = store.finish()
+    machine = store.machine
+
+    def classify_both():
+        classify_full_aa(module)
+        classify_trace_aa(module, trace, machine)
+
+    benchmark(classify_both)

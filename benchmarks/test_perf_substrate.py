@@ -1,0 +1,84 @@
+"""Substrate micro-benchmarks: interpreter, detector, and analysis
+throughput.  Not a paper figure — these guard the simulator's own
+performance so the evaluation suite stays runnable.
+"""
+
+from repro.analysis import PointsTo
+from repro.apps import KVStore, build_kvstore
+from repro.bench import redis_trace_workload
+from repro.detect import check_trace
+from repro.interp import Interpreter
+from repro.ir import I64, ModuleBuilder
+from repro.trace import dump_trace, load_trace
+
+
+def _loop_module(iterations: int):
+    mb = ModuleBuilder("hot")
+    b = mb.function("main", [], I64)
+    acc = b.alloca(8)
+    i = b.alloca(8)
+    b.store(0, acc)
+    b.store(0, i)
+    cond = b.new_block("cond")
+    body = b.new_block("body")
+    done = b.new_block("done")
+    b.jmp(cond)
+    b.position_at_end(cond)
+    b.br(b.icmp("ult", b.load(i), iterations), body, done)
+    b.position_at_end(body)
+    b.store(b.add(b.load(acc), b.load(i)), acc)
+    b.store(b.add(b.load(i), 1), i)
+    b.jmp(cond)
+    b.position_at_end(done)
+    b.ret(b.load(acc))
+    return mb.module
+
+
+def test_interpreter_throughput(benchmark):
+    module = _loop_module(2000)
+
+    def run():
+        interp = Interpreter(module)
+        return interp.call("main").value
+
+    assert benchmark(run) == sum(range(2000))
+
+
+def test_detector_throughput(benchmark):
+    module = build_kvstore("noflush")
+    store = KVStore(module)
+    redis_trace_workload(store)
+    trace = store.finish()
+    result = benchmark(lambda: check_trace(trace))
+    assert result.bug_count > 0
+
+
+def test_trace_serialization_throughput(benchmark):
+    module = build_kvstore("noflush")
+    store = KVStore(module)
+    redis_trace_workload(store)
+    trace = store.finish()
+
+    def roundtrip():
+        return len(load_trace(dump_trace(trace)))
+
+    assert benchmark(roundtrip) == len(trace)
+
+
+def test_points_to_analysis_throughput(benchmark):
+    module = build_kvstore("manual")
+    pts = benchmark(lambda: PointsTo(module))
+    assert pts.sites
+
+
+def test_kvstore_operation_latency(benchmark):
+    module = build_kvstore("manual")
+    store = KVStore(module)
+    store.init(128, 1 << 22)
+    counter = [0]
+
+    def one_put():
+        counter[0] += 1
+        store.put(f"key{counter[0]:08d}".encode(), b"v" * 96)
+
+    benchmark(one_put)

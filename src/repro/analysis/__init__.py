@@ -1,0 +1,17 @@
+"""Static analysis substrate: call graphs, Andersen points-to, and the
+PM pointer classifiers feeding the hoisting heuristic."""
+
+from .aliasing import PMClassification, classify_full_aa, classify_trace_aa
+from .andersen import AllocSite, PointsTo, UNKNOWN_SITE, analyze
+from .callgraph import CallGraph
+
+__all__ = [
+    "AllocSite",
+    "analyze",
+    "CallGraph",
+    "classify_full_aa",
+    "classify_trace_aa",
+    "PMClassification",
+    "PointsTo",
+    "UNKNOWN_SITE",
+]

@@ -1,0 +1,229 @@
+"""Andersen's inclusion-based points-to analysis.
+
+The paper uses "an implementation of Andersen's alias analysis for the
+whole-program alias analysis we perform to compute our heuristic" (§5).
+This is that analysis for our IR: flow- and context-insensitive,
+field-insensitive, with one abstract heap object per allocation site.
+
+Abstract locations (:class:`AllocSite`) are created for:
+
+- ``alloca`` instructions (space ``stack``),
+- calls to ``pm_alloc`` / ``vol_alloc`` (space ``pm`` / ``vol``),
+- calls to ``pm_root`` (a single shared site — every call returns the
+  same root object),
+- globals (space from their declaration),
+- a distinguished UNKNOWN site for pointers the analysis cannot track
+  (``inttoptr`` results, unknown intrinsic returns).
+
+Constraints:
+
+====================  =====================================
+IR construct          constraint
+====================  =====================================
+``p = alloca``        {site} ⊆ pts(p)
+``p = pm_alloc(n)``   {site} ⊆ pts(p)
+``p = gep q, off``    pts(q) ⊆ pts(p)   (field-insensitive)
+``p = select c,a,b``  pts(a) ∪ pts(b) ⊆ pts(p)
+``p = cast …``        pts(src) ⊆ pts(p) (or UNKNOWN)
+``store q, p``        ∀s ∈ pts(p): pts(q) ⊆ heap(s)
+``p = load q``        ∀s ∈ pts(q): heap(s) ⊆ pts(p)
+``call f(a…)``        pts(aᵢ) ⊆ pts(paramᵢ); returns flow back
+====================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    Gep,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+
+#: Intrinsics that allocate; mapped to the space they allocate in.
+_ALLOC_INTRINSICS = {"pm_alloc": "pm", "vol_alloc": "vol"}
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """An abstract memory object."""
+
+    key: str
+    space: str  # "pm" | "vol" | "stack" | "unknown"
+
+    def __repr__(self) -> str:
+        return f"<{self.key}:{self.space}>"
+
+
+UNKNOWN_SITE = AllocSite("unknown", "unknown")
+
+
+class PointsTo:
+    """Solved points-to information for one module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.sites: Dict[str, AllocSite] = {}
+        self._var_pts: Dict[Value, Set[AllocSite]] = {}
+        self._heap_pts: Dict[AllocSite, Set[AllocSite]] = {}
+        self._solve()
+
+    # -- public queries -----------------------------------------------------------
+
+    def sites_of(self, value: Value) -> FrozenSet[AllocSite]:
+        """The abstract objects ``value`` may point to."""
+        if isinstance(value, GlobalVariable):
+            return frozenset({self._global_site(value)})
+        return frozenset(self._var_pts.get(value, set()))
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        """True if the two pointers may reference the same object."""
+        sa, sb = self.sites_of(a), self.sites_of(b)
+        if not sa or not sb:
+            return True  # untracked: be conservative
+        if UNKNOWN_SITE in sa or UNKNOWN_SITE in sb:
+            return True
+        return bool(sa & sb)
+
+    def may_point_to_space(self, value: Value, space: str) -> bool:
+        """True if ``value`` may point into the given space ("pm"/"vol").
+
+        Empty or unknown points-to sets answer True (conservative).
+        """
+        sites = self.sites_of(value)
+        if not sites:
+            return True
+        for site in sites:
+            if site.space == space or site.space == "unknown":
+                return True
+        return False
+
+    # -- solving ---------------------------------------------------------------------
+
+    def _site(self, key: str, space: str) -> AllocSite:
+        if key not in self.sites:
+            self.sites[key] = AllocSite(key, space)
+        return self.sites[key]
+
+    def _global_site(self, gv: GlobalVariable) -> AllocSite:
+        return self._site(f"global:{gv.name}", gv.space)
+
+    def _pts(self, value: Value) -> Set[AllocSite]:
+        if value not in self._var_pts:
+            self._var_pts[value] = set()
+        return self._var_pts[value]
+
+    def _heap(self, site: AllocSite) -> Set[AllocSite]:
+        if site not in self._heap_pts:
+            self._heap_pts[site] = set()
+        return self._heap_pts[site]
+
+    def _solve(self) -> None:
+        copies: List[Tuple[Value, Value]] = []  # pts(dst) ⊇ pts(src)
+        loads: List[Tuple[Value, Value]] = []  # pts(dst) ⊇ heap(pts(src))
+        stores: List[Tuple[Value, Value]] = []  # heap(pts(ptr)) ⊇ pts(src)
+        returns: Dict[str, List[Value]] = {}
+
+        def base_set(value: Value) -> Set[AllocSite]:
+            if isinstance(value, GlobalVariable):
+                return {self._global_site(value)}
+            if isinstance(value, Constant):
+                return set()
+            return self._pts(value)
+
+        # -- constraint generation --------------------------------------------
+        for fn in self.module.functions.values():
+            for instr in fn.instructions():
+                if isinstance(instr, Alloca):
+                    self._pts(instr).add(self._site(f"alloca:{instr.iid}", "stack"))
+                elif isinstance(instr, Gep):
+                    copies.append((instr.base, instr))
+                elif isinstance(instr, Select) and instr.type.is_pointer:
+                    copies.append((instr.operands[1], instr))
+                    copies.append((instr.operands[2], instr))
+                elif isinstance(instr, Cast) and instr.type.is_pointer:
+                    if instr.kind == "inttoptr":
+                        src = instr.operands[0]
+                        # Round-tripping ptr->int->ptr is untrackable
+                        # field-insensitively; give up to UNKNOWN.
+                        self._pts(instr).add(UNKNOWN_SITE)
+                        del src
+                    else:
+                        copies.append((instr.operands[0], instr))
+                elif isinstance(instr, Load) and instr.type.is_pointer:
+                    loads.append((instr.pointer, instr))
+                elif isinstance(instr, Store) and instr.value.type.is_pointer:
+                    stores.append((instr.value, instr.pointer))
+                elif isinstance(instr, Ret) and instr.value is not None:
+                    if instr.value.type.is_pointer:
+                        returns.setdefault(fn.name, []).append(instr.value)
+                elif isinstance(instr, Call):
+                    self._call_constraints(instr, copies)
+
+        # Return-value flow: call results ⊇ callee returns.
+        for fn in self.module.functions.values():
+            for call in fn.calls():
+                if not call.type.is_pointer:
+                    continue
+                if self.module.has_function(call.callee):
+                    for ret_value in returns.get(call.callee, []):
+                        copies.append((ret_value, call))
+
+        # -- fixpoint ------------------------------------------------------------
+        changed = True
+        while changed:
+            changed = False
+            for src, dst in copies:
+                before = len(self._pts(dst))
+                self._pts(dst).update(base_set(src))
+                changed |= len(self._pts(dst)) != before
+            for ptr, dst in loads:
+                target = self._pts(dst)
+                before = len(target)
+                for site in list(base_set(ptr)):
+                    target.update(self._heap(site))
+                changed |= len(target) != before
+            for src, ptr in stores:
+                src_sites = base_set(src)
+                for site in list(base_set(ptr)):
+                    heap = self._heap(site)
+                    before = len(heap)
+                    heap.update(src_sites)
+                    changed |= len(heap) != before
+
+    def _call_constraints(
+        self, call: Call, copies: List[Tuple[Value, Value]]
+    ) -> None:
+        callee_name = call.callee
+        if self.module.has_function(callee_name):
+            callee = self.module.get_function(callee_name)
+            for formal, actual in zip(callee.args, call.args):
+                if formal.type.is_pointer:
+                    copies.append((actual, formal))
+            return
+        if callee_name in _ALLOC_INTRINSICS:
+            self._pts(call).add(
+                self._site(f"call:{call.iid}", _ALLOC_INTRINSICS[callee_name])
+            )
+            return
+        if callee_name == "pm_root":
+            self._pts(call).add(self._site("pm_root", "pm"))
+            return
+        if call.type.is_pointer:
+            # Unknown intrinsic returning a pointer: untrackable.
+            self._pts(call).add(UNKNOWN_SITE)
+
+
+def analyze(module: Module) -> PointsTo:
+    """Run Andersen's analysis over a module."""
+    return PointsTo(module)

@@ -1,0 +1,27 @@
+"""Evaluation targets written in the reproduction IR.
+
+- :mod:`repro.apps.stdlib` — memcpy/memset/memcmp (the shared helpers)
+- :mod:`repro.apps.pmdk_mini` — libpmem + a libpmemobj-style pool
+- :mod:`repro.apps.kvstore` — Redis-pmem analog (Fig. 4 target)
+- :mod:`repro.apps.pclht` — RECIPE's P-CLHT analog (2 seeded bugs)
+- :mod:`repro.apps.pmemcached` — memcached-pm analog (10 seeded bugs)
+"""
+
+from .kvstore import KVStore, build_kvstore
+from .pclht import PCLHT, PCLHT_SEEDS, build_pclht
+from .pmdk_mini import build_pmdk_module
+from .pmemcached import MC_SEEDS, Memcached, build_pmemcached
+from .stdlib import add_stdlib
+
+__all__ = [
+    "add_stdlib",
+    "build_kvstore",
+    "build_pclht",
+    "build_pmdk_module",
+    "build_pmemcached",
+    "KVStore",
+    "MC_SEEDS",
+    "Memcached",
+    "PCLHT",
+    "PCLHT_SEEDS",
+]

@@ -1,0 +1,485 @@
+"""A Redis-like persistent key-value store, written in IR.
+
+This is the reproduction's Redis-pmem (§6.3): a chained hash table in
+persistent memory, built on the mini-PMDK stack (``pmalloc`` for
+allocation, ``pmem_persist`` for durability), serving put/get/delete/
+scan operations.  Each operation stages the request through volatile
+buffers with the shared ``memcpy`` — exactly the volatile/persistent
+helper sharing that makes intraprocedural fixes catastrophic and the
+hoisting heuristic valuable.
+
+Three durability configurations (the paper's three Redis variants):
+
+- ``mode="manual"`` — developer-placed ``pmem_persist`` calls
+  (the Redis-pmem baseline; pmemcheck-clean).
+- ``mode="noflush"`` — every app-level persist is replaced by a bare
+  ``pmem_drain``: *all flushes removed, fences kept* — the §6.3
+  methodology.  Feeding this to Hippocrates with the heuristic off
+  yields RedisH-intra; with the heuristic on, RedisH-full.
+
+Persistent layout (offsets from the pool root are in
+:mod:`repro.apps.pmdk_mini`; this app adds)::
+
+    kv root (pm_root, shared with objpool; app fields at +80):
+      +80  table pointer     +88  bucket count     +96  key count
+    entry (pmalloc'd):
+      +0 next  +8 hash  +16 klen  +24 vlen  +32 vcap  +40 key  +40+klen val
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..interp.interpreter import ExecutionResult, Interpreter, Machine
+from ..interp.costs import CostModel
+from ..ir.builder import IRBuilder, ModuleBuilder
+from ..ir.module import Module
+from ..ir.types import I64, PTR
+from .pmdk_mini import build_pmdk_module
+
+KV_FILE = "kv.c"
+
+#: app fields live past the objpool header inside the 128-byte root
+OFF_TABLE = 80
+OFF_NBUCKETS = 88
+OFF_NKEYS = 96
+
+ENT_NEXT = 0
+ENT_HASH = 8
+ENT_KLEN = 16
+ENT_VLEN = 24
+ENT_VCAP = 32
+ENT_KEY = 40
+
+#: volatile staging offsets
+SCRATCH_VAL = 256
+
+MODES = ("manual", "noflush")
+
+
+def _persist(b: IRBuilder, mode: str, ptr, length) -> None:
+    """App-level durability point: full persist or (noflush) fence only."""
+    if mode == "manual":
+        b.call("pmem_persist", [ptr, length])
+    else:
+        b.call("pmem_drain", [])
+
+
+def _add_kv_init(mb: ModuleBuilder, mode: str) -> None:
+    b = mb.function(
+        "kv_init",
+        [("nbuckets", I64), ("arena_size", I64)],
+        source_file=KV_FILE,
+    )
+    nbuckets, arena_size = b.function.args
+    layout = mb.module.get_global("layout_name")
+    b.call("pool_create", [arena_size, layout, 8])
+    root = b.call("pm_root", [128], PTR)
+    table_bytes = b.mul(nbuckets, 8)
+    table = b.call("pm_alloc", [table_bytes], PTR)
+    b.call("memset", [table, 0, table_bytes])
+    _persist(b, mode, table, table_bytes)
+    b.store(table, b.gep(root, OFF_TABLE), PTR)
+    b.store(nbuckets, b.gep(root, OFF_NBUCKETS))
+    b.store(0, b.gep(root, OFF_NKEYS))
+    _persist(b, mode, b.gep(root, OFF_TABLE), 24)
+    b.ret()
+
+
+def _add_find_entry(mb: ModuleBuilder) -> None:
+    """Internal chain walk; read-only, shared by all operations."""
+    b = mb.function(
+        "find_entry",
+        [("key", PTR), ("klen", I64), ("h", I64)],
+        return_type=PTR,
+        source_file=KV_FILE,
+    )
+    key, klen, h = b.function.args
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    e_slot = b.alloca(8)
+    first = b.load(bucket, PTR)
+    b.store(first, e_slot, PTR)
+
+    loop = b.new_block("loop")
+    check_hash = b.new_block("check_hash")
+    check_klen = b.new_block("check_klen")
+    check_key = b.new_block("check_key")
+    advance = b.new_block("advance")
+    found = b.new_block("found")
+    miss = b.new_block("miss")
+    b.jmp(loop)
+
+    b.position_at_end(loop)
+    e = b.load(e_slot, PTR)
+    is_null = b.icmp("eq", e, 0)
+    b.br(is_null, miss, check_hash)
+
+    b.position_at_end(check_hash)
+    e = b.load(e_slot, PTR)
+    eh = b.load(b.gep(e, ENT_HASH))
+    hash_eq = b.icmp("eq", eh, h)
+    b.br(hash_eq, check_klen, advance)
+
+    b.position_at_end(check_klen)
+    e = b.load(e_slot, PTR)
+    ekl = b.load(b.gep(e, ENT_KLEN))
+    klen_eq = b.icmp("eq", ekl, klen)
+    b.br(klen_eq, check_key, advance)
+
+    b.position_at_end(check_key)
+    e = b.load(e_slot, PTR)
+    diff = b.call("memcmp", [b.gep(e, ENT_KEY), key, klen], I64)
+    key_eq = b.icmp("eq", diff, 0)
+    b.br(key_eq, found, advance)
+
+    b.position_at_end(advance)
+    e = b.load(e_slot, PTR)
+    b.store(b.load(b.gep(e, ENT_NEXT), PTR), e_slot, PTR)
+    b.jmp(loop)
+
+    b.position_at_end(found)
+    e = b.load(e_slot, PTR)
+    b.ret(e)
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_kv_put(mb: ModuleBuilder, mode: str) -> None:
+    b = mb.function(
+        "kv_put",
+        [("key", PTR), ("klen", I64), ("val", PTR), ("vlen", I64)],
+        return_type=I64,
+        source_file=KV_FILE,
+    )
+    key, klen, val, vlen = b.function.args
+    scratch = mb.module.get_global("scratch")
+    parse = mb.module.get_global("parse_buf")
+    # Request parsing, RESP-style: copy the wire payload into the parse
+    # buffer, then extract the key and value arguments into scratch.
+    b.call("memcpy", [parse, key, klen])
+    parse_val = b.gep(parse, SCRATCH_VAL)
+    b.call("memcpy", [parse_val, val, vlen])
+    b.call("memcpy", [scratch, parse, klen])
+    scratch_val = b.gep(scratch, SCRATCH_VAL)
+    b.call("memcpy", [scratch_val, parse_val, vlen])
+    reply = mb.module.get_global("reply")
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    e = b.call("find_entry", [scratch, klen, h], PTR)
+    update = b.new_block("update")
+    insert = b.new_block("insert")
+    hit = b.icmp("ne", e, 0)
+    b.br(hit, update, insert)
+
+    # -- update in place ------------------------------------------------------
+    b.position_at_end(update)
+    ekl = b.load(b.gep(e, ENT_KLEN))
+    vcap = b.load(b.gep(e, ENT_VCAP))
+    fits = b.icmp("ule", vlen, vcap)
+    b.call("require", [b.cast("zext", fits, I64)])
+    val_area = b.gep(e, b.add(ekl, ENT_KEY))
+    b.call("memcpy", [val_area, scratch_val, vlen])
+    _persist(b, mode, val_area, vlen)
+    b.store(vlen, b.gep(e, ENT_VLEN))
+    _persist(b, mode, b.gep(e, ENT_VLEN), 8)
+    b.call("memcpy", [reply, mb.module.get_global("ok_str"), 8])
+    b.call("checkpoint", [])
+    b.ret(1)
+
+    # -- insert new entry ------------------------------------------------------
+    b.position_at_end(insert)
+    size = b.add(b.add(klen, vlen), ENT_KEY)
+    entry = b.call("pmalloc", [size], PTR)
+    b.store(h, b.gep(entry, ENT_HASH))
+    b.store(klen, b.gep(entry, ENT_KLEN))
+    b.store(vlen, b.gep(entry, ENT_VLEN))
+    b.store(vlen, b.gep(entry, ENT_VCAP))
+    b.call("memcpy", [b.gep(entry, ENT_KEY), scratch, klen])
+    b.call("memcpy", [b.gep(entry, b.add(klen, ENT_KEY)), scratch_val, vlen])
+    if mode == "manual":
+        # Hand-written code persists the header and the payload as two
+        # logical units (two fences); Hippocrates needs only one.
+        b.call("pmem_persist", [entry, ENT_KEY])
+        b.call("pmem_persist", [b.gep(entry, ENT_KEY), b.add(klen, vlen)])
+    else:
+        _persist(b, mode, entry, size)
+
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    head = b.load(bucket, PTR)
+    b.store(head, b.gep(entry, ENT_NEXT), PTR)
+    _persist(b, mode, b.gep(entry, ENT_NEXT), 8)
+    b.store(entry, bucket, PTR)
+    _persist(b, mode, bucket, 8)
+    if mode == "manual":
+        # Hand-written PM code is defensively conservative: Redis-pmem
+        # re-persists the whole object after linking it, even though
+        # its lines were already flushed.  Hippocrates's generated
+        # flushes cover exactly the modified lines instead — the source
+        # of its small win on write-heavy workloads (paper §6.3).
+        b.call("pmem_persist", [entry, size])
+
+    nkeys_ptr = b.gep(root, OFF_NKEYS)
+    b.store(b.add(b.load(nkeys_ptr), 1), nkeys_ptr)
+    _persist(b, mode, nkeys_ptr, 8)
+    b.call("memcpy", [reply, mb.module.get_global("ok_str"), 8])
+    b.call("checkpoint", [])
+    b.ret(0)
+
+
+def _add_kv_get(mb: ModuleBuilder) -> None:
+    b = mb.function(
+        "kv_get",
+        [("key", PTR), ("klen", I64)],
+        return_type=I64,
+        source_file=KV_FILE,
+    )
+    key, klen = b.function.args
+    scratch = mb.module.get_global("scratch")
+    parse = mb.module.get_global("parse_buf")
+    reply = mb.module.get_global("reply")
+    b.call("memcpy", [parse, key, klen])
+    b.call("memcpy", [scratch, parse, klen])
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    e = b.call("find_entry", [scratch, klen, h], PTR)
+    hit = b.new_block("hit")
+    miss = b.new_block("miss")
+    found = b.icmp("ne", e, 0)
+    b.br(found, hit, miss)
+
+    b.position_at_end(hit)
+    ekl = b.load(b.gep(e, ENT_KLEN))
+    evl = b.load(b.gep(e, ENT_VLEN))
+    b.call("memcpy", [reply, b.gep(e, b.add(ekl, ENT_KEY)), evl])
+    b.ret(evl)
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_kv_del(mb: ModuleBuilder, mode: str) -> None:
+    b = mb.function(
+        "kv_del",
+        [("key", PTR), ("klen", I64)],
+        return_type=I64,
+        source_file=KV_FILE,
+    )
+    key, klen = b.function.args
+    scratch = mb.module.get_global("scratch")
+    parse = mb.module.get_global("parse_buf")
+    b.call("memcpy", [parse, key, klen])
+    b.call("memcpy", [scratch, parse, klen])
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    # prev_slot holds the address of the link to the current entry
+    # (the bucket head or the previous entry's next field).
+    prev_slot = b.alloca(8)
+    b.store(bucket, prev_slot, PTR)
+
+    loop = b.new_block("loop")
+    check = b.new_block("check")
+    matched = b.new_block("matched")
+    advance = b.new_block("advance")
+    miss = b.new_block("miss")
+    b.jmp(loop)
+
+    b.position_at_end(loop)
+    slot = b.load(prev_slot, PTR)
+    e = b.load(slot, PTR)
+    is_null = b.icmp("eq", e, 0)
+    b.br(is_null, miss, check)
+
+    b.position_at_end(check)
+    slot = b.load(prev_slot, PTR)
+    e = b.load(slot, PTR)
+    eh = b.load(b.gep(e, ENT_HASH))
+    ekl = b.load(b.gep(e, ENT_KLEN))
+    hash_eq = b.icmp("eq", eh, h)
+    klen_eq = b.icmp("eq", ekl, klen)
+    both = b.and_(
+        b.cast("zext", hash_eq, I64), b.cast("zext", klen_eq, I64)
+    )
+    maybe = b.icmp("ne", both, 0)
+    deep = b.new_block("deep")
+    b.br(maybe, deep, advance)
+    b.position_at_end(deep)
+    slot = b.load(prev_slot, PTR)
+    e = b.load(slot, PTR)
+    diff = b.call("memcmp", [b.gep(e, ENT_KEY), key, klen], I64)
+    key_eq = b.icmp("eq", diff, 0)
+    b.br(key_eq, matched, advance)
+
+    b.position_at_end(matched)
+    slot = b.load(prev_slot, PTR)
+    e = b.load(slot, PTR)
+    nxt = b.load(b.gep(e, ENT_NEXT), PTR)
+    b.store(nxt, slot, PTR)
+    _persist(b, mode, slot, 8)
+    nkeys_ptr = b.gep(root, OFF_NKEYS)
+    b.store(b.sub(b.load(nkeys_ptr), 1), nkeys_ptr)
+    _persist(b, mode, nkeys_ptr, 8)
+    b.call("checkpoint", [])
+    b.ret(1)
+
+    b.position_at_end(advance)
+    slot = b.load(prev_slot, PTR)
+    e = b.load(slot, PTR)
+    b.store(b.gep(e, ENT_NEXT), prev_slot, PTR)
+    b.jmp(loop)
+
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_kv_scan(mb: ModuleBuilder) -> None:
+    """Scan ``count`` consecutive buckets, copying each value out
+    (read-only; used by the YCSB E workload)."""
+    b = mb.function(
+        "kv_scan",
+        [("h_start", I64), ("count", I64)],
+        return_type=I64,
+        source_file=KV_FILE,
+    )
+    h_start, count = b.function.args
+    reply = mb.module.get_global("reply")
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    i_slot = b.alloca(8)
+    total_slot = b.alloca(8)
+    e_slot = b.alloca(8)
+    b.store(0, i_slot)
+    b.store(0, total_slot)
+
+    bucket_cond = b.new_block("bucket_cond")
+    bucket_body = b.new_block("bucket_body")
+    chain_cond = b.new_block("chain_cond")
+    chain_body = b.new_block("chain_body")
+    bucket_next = b.new_block("bucket_next")
+    done = b.new_block("done")
+    b.jmp(bucket_cond)
+
+    b.position_at_end(bucket_cond)
+    i = b.load(i_slot)
+    more = b.icmp("ult", i, count)
+    b.br(more, bucket_body, done)
+
+    b.position_at_end(bucket_body)
+    i = b.load(i_slot)
+    idx = b.urem(b.add(h_start, i), nbuckets)
+    bucket = b.gep(table, b.mul(idx, 8))
+    b.store(b.load(bucket, PTR), e_slot, PTR)
+    b.jmp(chain_cond)
+
+    b.position_at_end(chain_cond)
+    e = b.load(e_slot, PTR)
+    is_null = b.icmp("eq", e, 0)
+    b.br(is_null, bucket_next, chain_body)
+
+    b.position_at_end(chain_body)
+    e = b.load(e_slot, PTR)
+    ekl = b.load(b.gep(e, ENT_KLEN))
+    evl = b.load(b.gep(e, ENT_VLEN))
+    b.call("memcpy", [reply, b.gep(e, b.add(ekl, ENT_KEY)), evl])
+    b.store(b.add(b.load(total_slot), evl), total_slot)
+    b.store(b.load(b.gep(e, ENT_NEXT), PTR), e_slot, PTR)
+    b.jmp(chain_cond)
+
+    b.position_at_end(bucket_next)
+    b.store(b.add(b.load(i_slot), 1), i_slot)
+    b.jmp(bucket_cond)
+
+    b.position_at_end(done)
+    b.ret(b.load(total_slot))
+
+
+def _add_kv_count(mb: ModuleBuilder) -> None:
+    b = mb.function("kv_count", [], return_type=I64, source_file=KV_FILE)
+    root = b.call("pm_root", [128], PTR)
+    b.ret(b.load(b.gep(root, OFF_NKEYS)))
+
+
+def build_kvstore(mode: str = "manual", name: str = "redis") -> Module:
+    """Build the complete KV store module in the given durability mode."""
+    if mode not in MODES:
+        raise ValueError(f"unknown kvstore mode {mode!r}; use {MODES}")
+    mb = build_pmdk_module(name=name)
+    mb.global_("layout_name", 16, "vol", b"redis-kv".ljust(16, b"\0"))
+    mb.global_("req_buf", 512, "vol")
+    mb.global_("parse_buf", 512, "vol")
+    mb.global_("scratch", 512, "vol")
+    mb.global_("ok_str", 8, "vol", b"+OK\r\n\0\0\0")
+    mb.global_("reply", 512, "vol")
+    _add_kv_init(mb, mode)
+    _add_find_entry(mb)
+    _add_kv_put(mb, mode)
+    _add_kv_get(mb)
+    _add_kv_del(mb, mode)
+    _add_kv_scan(mb)
+    _add_kv_count(mb)
+    return mb.module
+
+
+class KVStore:
+    """Host-side driver: writes requests into the volatile request
+    buffer and invokes the IR entry points (the "network" front-end)."""
+
+    VAL_OFF = 256
+
+    def __init__(
+        self,
+        module: Module,
+        interp: Optional[Interpreter] = None,
+        cost_model: Optional[CostModel] = None,
+        fuel: int = 500_000_000,
+    ):
+        self.module = module
+        self.interp = interp or Interpreter(module, cost_model=cost_model, fuel=fuel)
+        self.req_addr = self.interp.machine.global_addrs["req_buf"]
+        self.reply_addr = self.interp.machine.global_addrs["reply"]
+
+    @property
+    def machine(self) -> Machine:
+        return self.interp.machine
+
+    def init(self, nbuckets: int = 256, arena_size: int = 1 << 20) -> None:
+        self.interp.call("kv_init", [nbuckets, arena_size])
+
+    def _write_request(self, key: bytes, val: bytes = b"") -> None:
+        space = self.interp.machine.space
+        space.write_bytes(self.req_addr, key)
+        if val:
+            space.write_bytes(self.req_addr + self.VAL_OFF, val)
+
+    def put(self, key: bytes, val: bytes) -> ExecutionResult:
+        self._write_request(key, val)
+        return self.interp.call(
+            "kv_put",
+            [self.req_addr, len(key), self.req_addr + self.VAL_OFF, len(val)],
+        )
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._write_request(key)
+        result = self.interp.call("kv_get", [self.req_addr, len(key)])
+        if result.value == 0:
+            return None
+        return self.interp.machine.space.read_bytes(self.reply_addr, result.value)
+
+    def delete(self, key: bytes) -> bool:
+        self._write_request(key)
+        return bool(self.interp.call("kv_del", [self.req_addr, len(key)]).value)
+
+    def scan(self, start_hash: int, count: int) -> int:
+        return self.interp.call("kv_scan", [start_hash, count]).value
+
+    def count(self) -> int:
+        return self.interp.call("kv_count", []).value
+
+    def finish(self):
+        return self.interp.finish()

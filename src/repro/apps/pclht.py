@@ -1,0 +1,354 @@
+"""P-CLHT: a persistent cache-line hash table (RECIPE), in IR.
+
+CLHT's defining property is that every bucket is exactly one cache
+line, so any update touches (and must flush) a single line.  Layout of
+a 64-byte bucket::
+
+    +0,+8,+16   keys[3]        (0 = empty slot)
+    +24,+32,+40 values[3]
+    +48         next bucket pointer (overflow chain)
+    +56         metadata (unused here)
+
+The paper found 2 previously-undocumented durability bugs in P-CLHT
+with pmemcheck; we seed two of the same classes:
+
+- ``pclht-1`` — the insert path writes value+key into the bucket line
+  but omits both the flush and the fence (missing-flush&fence);
+- ``pclht-2`` — the overflow path flushes the new bucket's line with
+  ``clwb`` but omits the ordering ``sfence`` (missing-fence).
+
+Keys and values are 8-byte integers, as in CLHT.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..interp.interpreter import Interpreter
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..ir.types import I64, PTR
+from .pmdk_mini import build_pmdk_module
+
+PCLHT_FILE = "pclht.c"
+
+BUCKET_SIZE = 64
+SLOTS = 3
+OFF_KEYS = 0
+OFF_VALS = 24
+OFF_NEXT = 48
+
+#: root fields (the pool root's app region)
+OFF_TABLE = 80
+OFF_NBUCKETS = 88
+
+PCLHT_SEEDS = frozenset({"pclht-1", "pclht-2"})
+
+
+def _add_clht_create(mb: ModuleBuilder) -> None:
+    b = mb.function("clht_create", [("nbuckets", I64)], source_file=PCLHT_FILE)
+    (nbuckets,) = b.function.args
+    root = b.call("pm_root", [128], PTR)
+    size = b.mul(nbuckets, BUCKET_SIZE)
+    table = b.call("pm_alloc", [size], PTR)
+    b.call("memset", [table, 0, size])
+    b.call("pmem_persist", [table, size])
+    b.store(table, b.gep(root, OFF_TABLE), PTR)
+    b.store(nbuckets, b.gep(root, OFF_NBUCKETS))
+    b.call("pmem_persist", [b.gep(root, OFF_TABLE), 16])
+    b.ret()
+
+
+def _add_clht_hash(mb: ModuleBuilder) -> None:
+    """CLHT's multiplicative hash (Fibonacci hashing)."""
+    b = mb.function(
+        "clht_hash", [("key", I64)], return_type=I64, source_file=PCLHT_FILE
+    )
+    (key,) = b.function.args
+    h = b.mul(key, 0x9E3779B97F4A7C15)
+    h = b.xor(h, b.lshr(h, 29))
+    b.ret(h)
+
+
+def _add_clht_put(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """Insert or update; returns 0 (insert) or 1 (update)."""
+    b = mb.function(
+        "clht_put",
+        [("key", I64), ("val", I64)],
+        return_type=I64,
+        source_file=PCLHT_FILE,
+    )
+    key, val = b.function.args
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    h = b.call("clht_hash", [key], I64)
+    idx = b.urem(h, nbuckets)
+    bucket_slot = b.alloca(8)
+    b.store(b.gep(table, b.mul(idx, BUCKET_SIZE)), bucket_slot, PTR)
+
+    scan = b.new_block("scan")
+    slot_loop_init = b.new_block("slots_init")
+    slot_cond = b.new_block("slot_cond")
+    slot_body = b.new_block("slot_body")
+    slot_next = b.new_block("slot_next")
+    hit = b.new_block("hit")
+    empty = b.new_block("empty")
+    overflow = b.new_block("overflow")
+    chain = b.new_block("chain")
+    i_slot = b.alloca(8)
+    b.jmp(scan)
+
+    # -- scan the current bucket's three slots ----------------------------
+    b.position_at_end(scan)
+    b.jmp(slot_loop_init)
+    b.position_at_end(slot_loop_init)
+    b.store(0, i_slot)
+    b.jmp(slot_cond)
+
+    b.position_at_end(slot_cond)
+    i = b.load(i_slot)
+    in_range = b.icmp("ult", i, SLOTS)
+    b.br(in_range, slot_body, overflow)
+
+    b.position_at_end(slot_body)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    key_ptr = b.gep(bucket, b.mul(i, 8))
+    k = b.load(key_ptr)
+    is_match = b.icmp("eq", k, key)
+    check_empty = b.new_block("check_empty")
+    b.br(is_match, hit, check_empty)
+    b.position_at_end(check_empty)
+    is_empty = b.icmp("eq", k, 0)
+    b.br(is_empty, empty, slot_next)
+
+    b.position_at_end(slot_next)
+    b.store(b.add(b.load(i_slot), 1), i_slot)
+    b.jmp(slot_cond)
+
+    # -- update in place: value store + flush + fence ----------------------
+    b.position_at_end(hit)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    val_ptr = b.gep(bucket, b.add(OFF_VALS, b.mul(i, 8)))
+    b.store(val, val_ptr)
+    b.flush(val_ptr, "clwb")
+    b.fence("sfence")
+    b.call("checkpoint", [])
+    b.ret(1)
+
+    # -- insert into the empty slot (CLHT order: value before key) ---------
+    b.position_at_end(empty)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    val_ptr = b.gep(bucket, b.add(OFF_VALS, b.mul(i, 8)))
+    key_ptr = b.gep(bucket, b.mul(i, 8))
+    b.store(val, val_ptr)
+    b.flush(val_ptr, "clwb")
+    b.fence("sfence")
+    b.store(key, key_ptr)
+    if "pclht-1" not in seeds:
+        # Publishing the key makes the slot visible to recovery; it
+        # must be flushed and fenced (seed pclht-1 forgets both).
+        b.flush(key_ptr, "clwb")
+        b.fence("sfence")
+    b.call("checkpoint", [])
+    b.ret(0)
+
+    # -- overflow: follow or extend the chain -------------------------------
+    b.position_at_end(overflow)
+    bucket = b.load(bucket_slot, PTR)
+    nxt = b.load(b.gep(bucket, OFF_NEXT), PTR)
+    has_next = b.icmp("ne", nxt, 0)
+    b.br(has_next, chain, b.new_block("grow"))
+
+    b.position_at_end(chain)
+    bucket = b.load(bucket_slot, PTR)
+    nxt = b.load(b.gep(bucket, OFF_NEXT), PTR)
+    b.store(nxt, bucket_slot, PTR)
+    b.jmp(slot_loop_init)
+
+    grow = b.function.get_block("grow")
+    b.position_at_end(grow)
+    fresh = b.call("pm_alloc", [BUCKET_SIZE], PTR)
+    b.call("memset", [fresh, 0, BUCKET_SIZE])
+    b.store(val, b.gep(fresh, OFF_VALS))
+    b.store(key, b.gep(fresh, OFF_KEYS))
+    b.call("pmem_persist", [fresh, BUCKET_SIZE])
+    bucket = b.load(bucket_slot, PTR)
+    next_ptr = b.gep(bucket, OFF_NEXT)
+    b.store(fresh, next_ptr, PTR)
+    b.flush(next_ptr, "clwb")
+    if "pclht-2" not in seeds:
+        # The chain link's clwb is weakly ordered; without the sfence
+        # the new bucket may be unreachable after a crash (seed
+        # pclht-2 forgets the fence).
+        b.fence("sfence")
+    b.call("checkpoint", [])
+    b.ret(0)
+
+
+def _add_clht_get(mb: ModuleBuilder) -> None:
+    """Lookup; returns the value, or 0 when absent."""
+    b = mb.function(
+        "clht_get", [("key", I64)], return_type=I64, source_file=PCLHT_FILE
+    )
+    (key,) = b.function.args
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    h = b.call("clht_hash", [key], I64)
+    idx = b.urem(h, nbuckets)
+    bucket_slot = b.alloca(8)
+    i_slot = b.alloca(8)
+    b.store(b.gep(table, b.mul(idx, BUCKET_SIZE)), bucket_slot, PTR)
+
+    bucket_loop = b.new_block("bucket_loop")
+    slot_cond = b.new_block("slot_cond")
+    slot_body = b.new_block("slot_body")
+    slot_next = b.new_block("slot_next")
+    follow = b.new_block("follow")
+    found = b.new_block("found")
+    miss = b.new_block("miss")
+    b.jmp(bucket_loop)
+
+    b.position_at_end(bucket_loop)
+    bucket = b.load(bucket_slot, PTR)
+    is_null = b.icmp("eq", bucket, 0)
+    b.br(is_null, miss, slot_cond)
+    # reset slot index on entering a bucket
+    b.position_at_end(slot_cond)
+    b.store(0, i_slot)
+    b.jmp(slot_body)
+
+    b.position_at_end(slot_body)
+    i = b.load(i_slot)
+    in_range = b.icmp("ult", i, SLOTS)
+    body2 = b.new_block("slot_check")
+    b.br(in_range, body2, follow)
+    b.position_at_end(body2)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    k = b.load(b.gep(bucket, b.mul(i, 8)))
+    is_match = b.icmp("eq", k, key)
+    b.br(is_match, found, slot_next)
+
+    b.position_at_end(slot_next)
+    b.store(b.add(b.load(i_slot), 1), i_slot)
+    b.jmp(slot_body)
+
+    b.position_at_end(follow)
+    bucket = b.load(bucket_slot, PTR)
+    b.store(b.load(b.gep(bucket, OFF_NEXT), PTR), bucket_slot, PTR)
+    b.jmp(bucket_loop)
+
+    b.position_at_end(found)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    b.ret(b.load(b.gep(bucket, b.add(OFF_VALS, b.mul(i, 8)))))
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_clht_delete(mb: ModuleBuilder) -> None:
+    """Remove a key; returns 1 when removed (correct: flush + fence)."""
+    b = mb.function(
+        "clht_delete", [("key", I64)], return_type=I64, source_file=PCLHT_FILE
+    )
+    (key,) = b.function.args
+    root = b.call("pm_root", [128], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    h = b.call("clht_hash", [key], I64)
+    idx = b.urem(h, nbuckets)
+    bucket_slot = b.alloca(8)
+    i_slot = b.alloca(8)
+    b.store(b.gep(table, b.mul(idx, BUCKET_SIZE)), bucket_slot, PTR)
+
+    bucket_loop = b.new_block("bucket_loop")
+    slot_init = b.new_block("slot_init")
+    slot_cond = b.new_block("slot_cond")
+    slot_check = b.new_block("slot_check")
+    slot_next = b.new_block("slot_next")
+    follow = b.new_block("follow")
+    found = b.new_block("found")
+    miss = b.new_block("miss")
+    b.jmp(bucket_loop)
+
+    b.position_at_end(bucket_loop)
+    bucket = b.load(bucket_slot, PTR)
+    is_null = b.icmp("eq", bucket, 0)
+    b.br(is_null, miss, slot_init)
+    b.position_at_end(slot_init)
+    b.store(0, i_slot)
+    b.jmp(slot_cond)
+
+    b.position_at_end(slot_cond)
+    i = b.load(i_slot)
+    in_range = b.icmp("ult", i, SLOTS)
+    b.br(in_range, slot_check, follow)
+    b.position_at_end(slot_check)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    k = b.load(b.gep(bucket, b.mul(i, 8)))
+    is_match = b.icmp("eq", k, key)
+    b.br(is_match, found, slot_next)
+
+    b.position_at_end(slot_next)
+    b.store(b.add(b.load(i_slot), 1), i_slot)
+    b.jmp(slot_cond)
+
+    b.position_at_end(follow)
+    bucket = b.load(bucket_slot, PTR)
+    b.store(b.load(b.gep(bucket, OFF_NEXT), PTR), bucket_slot, PTR)
+    b.jmp(bucket_loop)
+
+    b.position_at_end(found)
+    i = b.load(i_slot)
+    bucket = b.load(bucket_slot, PTR)
+    key_ptr = b.gep(bucket, b.mul(i, 8))
+    b.store(0, key_ptr)
+    b.flush(key_ptr, "clwb")
+    b.fence("sfence")
+    b.call("checkpoint", [])
+    b.ret(1)
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def build_pclht(seeds: FrozenSet[str] = PCLHT_SEEDS, name: str = "pclht") -> Module:
+    """Build P-CLHT; default seeds reproduce the two study bugs."""
+    unknown = set(seeds) - PCLHT_SEEDS
+    if unknown:
+        raise ValueError(f"unknown P-CLHT seeds: {sorted(unknown)}")
+    mb = build_pmdk_module(name=name)
+    _add_clht_create(mb)
+    _add_clht_hash(mb)
+    _add_clht_put(mb, frozenset(seeds))
+    _add_clht_get(mb)
+    _add_clht_delete(mb)
+    return mb.module
+
+
+class PCLHT:
+    """Host driver for the P-CLHT index."""
+
+    def __init__(self, module: Module, interp: Optional[Interpreter] = None):
+        self.module = module
+        self.interp = interp or Interpreter(module)
+
+    def create(self, nbuckets: int = 64) -> None:
+        self.interp.call("clht_create", [nbuckets])
+
+    def put(self, key: int, val: int) -> int:
+        return self.interp.call("clht_put", [key, val]).value
+
+    def get(self, key: int) -> int:
+        return self.interp.call("clht_get", [key]).value
+
+    def delete(self, key: int) -> int:
+        return self.interp.call("clht_delete", [key]).value
+
+    def finish(self):
+        return self.interp.finish()

@@ -1,0 +1,60 @@
+"""mini-PMDK: libpmem persistence primitives + a libpmemobj-style
+object pool, written in the reproduction IR.
+
+:func:`build_pmdk_module` assembles a complete module (stdlib + libpmem
++ objpool), optionally seeding the study's core-library bugs.
+"""
+
+from typing import FrozenSet, Iterable
+
+from ...ir.builder import ModuleBuilder
+from ..stdlib import add_stdlib
+from .libpmem import add_libpmem
+from .objpool import (
+    ARENA_META,
+    LIBRARY_SEEDS,
+    LOG_SIZE,
+    OFF_ARENA,
+    OFF_HEAP_TOP,
+    OFF_LAYOUT,
+    OFF_LOG,
+    OFF_LOG_HEAD,
+    OFF_MAGIC,
+    OFF_ROOT_OBJ,
+    POOL_MAGIC,
+    ROOT_SIZE,
+    add_objpool,
+)
+
+
+def build_pmdk_module(
+    seeds: Iterable[str] = (), name: str = "pmdk"
+) -> ModuleBuilder:
+    """A ModuleBuilder preloaded with the whole mini-PMDK stack.
+
+    Returns the builder (not the module) so callers — unit tests, the
+    corpus, the apps — can keep adding their own functions on top.
+    """
+    mb = ModuleBuilder(name)
+    add_stdlib(mb)
+    add_libpmem(mb)
+    add_objpool(mb, frozenset(seeds))
+    return mb
+
+
+__all__ = [
+    "ARENA_META",
+    "build_pmdk_module",
+    "LIBRARY_SEEDS",
+    "LOG_SIZE",
+    "OFF_ARENA",
+    "OFF_HEAP_TOP",
+    "OFF_LAYOUT",
+    "OFF_LOG",
+    "OFF_LOG_HEAD",
+    "OFF_MAGIC",
+    "OFF_ROOT_OBJ",
+    "POOL_MAGIC",
+    "ROOT_SIZE",
+    "add_objpool",
+]

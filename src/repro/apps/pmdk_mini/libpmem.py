@@ -1,0 +1,144 @@
+"""mini-libpmem: the low-level persistence primitives of PMDK, in IR.
+
+These are the *correct* library routines applications and developer
+fixes call:
+
+- ``pmem_flush(addr, len)`` — flush every cache line of a range (clwb)
+- ``pmem_drain()`` — sfence
+- ``pmem_persist(addr, len)`` — flush + drain (PMDK's workhorse)
+- ``pmem_memcpy_persist(dst, src, n)`` — memcpy then persist the range
+- ``pmem_memset_persist(p, v, n)`` — memset then persist the range
+
+The paper's "developer fixes" overwhelmingly insert calls to these
+(that is what makes them *interprocedural* fixes), so the corpus's
+developer-fix metadata references these names.
+"""
+
+from __future__ import annotations
+
+from ..stdlib import STDLIB_FILE
+from ...ir.builder import ModuleBuilder
+from ...ir.types import I64, PTR
+from ...memory.layout import CACHE_LINE
+
+LIBPMEM_FILE = "libpmem.c"
+
+
+def add_pmem_flush(mb: ModuleBuilder) -> None:
+    """Flush each cache line covering ``[addr, addr+len)``."""
+    b = mb.function(
+        "pmem_flush", [("addr", PTR), ("len", I64)], source_file=LIBPMEM_FILE
+    )
+    addr, length = b.function.args
+    addr_int = b.cast("ptrtoint", addr, I64)
+    first = b.and_(addr_int, ~(CACHE_LINE - 1) & ((1 << 64) - 1))
+    end = b.add(addr_int, length)
+    line_slot = b.alloca(8)
+    b.store(first, line_slot)
+    cond = b.new_block("cond")
+    body = b.new_block("body")
+    done = b.new_block("done")
+    b.jmp(cond)
+
+    b.position_at_end(cond)
+    line = b.load(line_slot)
+    more = b.icmp("ult", line, end)
+    b.br(more, body, done)
+
+    b.position_at_end(body)
+    line = b.load(line_slot)
+    line_ptr = b.cast("inttoptr", line, PTR)
+    b.flush(line_ptr, "clwb")
+    b.store(b.add(line, CACHE_LINE), line_slot)
+    b.jmp(cond)
+
+    b.position_at_end(done)
+    b.ret()
+
+
+def add_pmem_drain(mb: ModuleBuilder) -> None:
+    """Order all previously issued flushes (sfence)."""
+    b = mb.function("pmem_drain", [], source_file=LIBPMEM_FILE)
+    b.fence("sfence")
+    b.ret()
+
+
+def add_pmem_persist(mb: ModuleBuilder) -> None:
+    """Make a range durable: flush every line, then drain."""
+    b = mb.function(
+        "pmem_persist", [("addr", PTR), ("len", I64)], source_file=LIBPMEM_FILE
+    )
+    addr, length = b.function.args
+    b.call("pmem_flush", [addr, length])
+    b.call("pmem_drain", [])
+    b.ret()
+
+
+def add_pmem_memcpy_persist(mb: ModuleBuilder) -> None:
+    """The paper's Listing 2 shape: memcpy, then persist the range."""
+    b = mb.function(
+        "pmem_memcpy_persist",
+        [("dst", PTR), ("src", PTR), ("n", I64)],
+        source_file=LIBPMEM_FILE,
+    )
+    dst, src, n = b.function.args
+    b.call("memcpy", [dst, src, n])
+    b.call("pmem_persist", [dst, n])
+    b.ret()
+
+
+def add_pmem_memcpy_nodrain(mb: ModuleBuilder) -> None:
+    """Copy 8-byte words into PM with non-temporal stores, no fence.
+
+    libpmem's ``pmem_memcpy_nodrain``: the data bypasses the cache (no
+    flush needed) but the caller owns the ordering — a missing
+    ``pmem_drain`` afterwards is a missing-fence bug.  ``n`` must be a
+    multiple of 8 (the real routine falls back to plain stores for
+    heads/tails; our callers copy aligned records).
+    """
+    b = mb.function(
+        "pmem_memcpy_nodrain",
+        [("dst", PTR), ("src", PTR), ("n", I64)],
+        source_file=LIBPMEM_FILE,
+    )
+    dst, src, n = b.function.args
+    i_slot = b.alloca(8)
+    b.store(0, i_slot)
+    cond = b.new_block("cond")
+    body = b.new_block("body")
+    done = b.new_block("done")
+    b.jmp(cond)
+    b.position_at_end(cond)
+    i = b.load(i_slot)
+    more = b.icmp("ult", i, n)
+    b.br(more, body, done)
+    b.position_at_end(body)
+    i = b.load(i_slot)
+    value = b.load(b.gep(src, i), I64)
+    b.store(value, b.gep(dst, i), I64, nontemporal=True)
+    b.store(b.add(i, 8), i_slot)
+    b.jmp(cond)
+    b.position_at_end(done)
+    b.ret()
+
+
+def add_pmem_memset_persist(mb: ModuleBuilder) -> None:
+    b = mb.function(
+        "pmem_memset_persist",
+        [("p", PTR), ("byte", I64), ("n", I64)],
+        source_file=LIBPMEM_FILE,
+    )
+    p, byte, n = b.function.args
+    b.call("memset", [p, byte, n])
+    b.call("pmem_persist", [p, n])
+    b.ret()
+
+
+def add_libpmem(mb: ModuleBuilder) -> None:
+    """Add all of mini-libpmem (requires the stdlib to be added too)."""
+    add_pmem_flush(mb)
+    add_pmem_drain(mb)
+    add_pmem_persist(mb)
+    add_pmem_memcpy_persist(mb)
+    add_pmem_memcpy_nodrain(mb)
+    add_pmem_memset_persist(mb)

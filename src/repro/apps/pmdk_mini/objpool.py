@@ -1,0 +1,225 @@
+"""mini-libpmemobj: a persistent object pool, in IR.
+
+Models the PMDK object-store layer that the paper's bug study targets:
+a pool with a persistent header, a bump allocator over an arena, a redo
+log, and OID helpers.  The layout (all offsets from the pool root):
+
+======  ======  ==============================================
+offset  size    field
+======  ======  ==============================================
+0       8       magic
+8       8       heap_top (bump-allocation watermark)
+16      8       log_head (append offset into the redo log)
+24      8       root-object pointer
+32      8       arena base pointer
+40      8       redo-log base pointer
+64      16      layout name (written with ``memcpy``; its own
+                cache line, so allocator flushes never mask a
+                missing layout persist)
+======  ======  ==============================================
+
+``seeds`` reintroduces the study's *core library* durability bugs: each
+seed id corresponds to a PMDK issue and omits exactly the persistence
+call whose absence caused it (see :mod:`repro.corpus.bugs` for the
+catalog and the developer fixes).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ...ir.builder import IRBuilder, ModuleBuilder
+from ...ir.types import I64, PTR
+
+OBJPOOL_FILE = "objpool.c"
+
+ROOT_SIZE = 128
+POOL_MAGIC = 0x504D4F424A31  # "PMOBJ1"
+LOG_SIZE = 4096
+ARENA_META = 256  # allocator metadata region at the arena base
+
+OFF_MAGIC = 0
+OFF_HEAP_TOP = 8
+OFF_LOG_HEAD = 16
+OFF_ROOT_OBJ = 24
+OFF_ARENA = 32
+OFF_LOG = 40
+OFF_LAYOUT = 64
+
+#: Seedable core-library bugs (PMDK issue ids from the study).
+LIBRARY_SEEDS = frozenset({"447", "452", "458", "459", "460", "461"})
+
+
+def _root(b: IRBuilder):
+    return b.call("pm_root", [ROOT_SIZE], PTR)
+
+
+def add_pool_create(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """``pool_create(arena_size, layout_ptr, layout_len)``.
+
+    Seeds: 461 (arena metadata memset not persisted), 447 (layout name
+    memcpy not persisted — the header-update bug).
+    """
+    b = mb.function(
+        "pool_create",
+        [("arena_size", I64), ("layout", PTR), ("layout_len", I64)],
+        source_file=OBJPOOL_FILE,
+    )
+    arena_size, layout, layout_len = b.function.args
+    root = _root(b)
+
+    b.store(POOL_MAGIC, b.gep(root, OFF_MAGIC))
+    b.store(0, b.gep(root, OFF_HEAP_TOP))
+    b.call("pmem_persist", [root, 16])
+
+    arena = b.call("pm_alloc", [arena_size], PTR)
+    log = b.call("pm_alloc", [LOG_SIZE], PTR)
+    b.store(arena, b.gep(root, OFF_ARENA), PTR)
+    b.store(log, b.gep(root, OFF_LOG), PTR)
+    b.store(0, b.gep(root, OFF_LOG_HEAD))
+    b.store(0, b.gep(root, OFF_ROOT_OBJ))
+    b.call("pmem_persist", [b.gep(root, OFF_LOG_HEAD), 32])
+
+    b.call("memset", [arena, 0, ARENA_META])
+    if "461" not in seeds:
+        b.call("pmem_persist", [arena, ARENA_META])
+
+    b.call("memcpy", [b.gep(root, OFF_LAYOUT), layout, layout_len])
+    if "447" not in seeds:
+        b.call("pmem_persist", [b.gep(root, OFF_LAYOUT), 16])
+    b.ret()
+
+
+def add_pmalloc(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """Bump-allocate from the arena; returns the object pointer.
+
+    Seed 452 omits the watermark flush (the drain that follows still
+    fences, so the bug is a pure missing-flush — exactly the class the
+    developers fixed with an interprocedural ``pmem_flush`` while
+    Hippocrates inserts a single in-line ``clwb``).
+    """
+    b = mb.function(
+        "pmalloc", [("size", I64)], return_type=PTR, source_file=OBJPOOL_FILE
+    )
+    (size,) = b.function.args
+    root = _root(b)
+    top_ptr = b.gep(root, OFF_HEAP_TOP)
+    top = b.load(top_ptr)
+    aligned = b.and_(b.add(top, 63), ~63 & ((1 << 64) - 1))
+    new_top = b.add(aligned, size)
+    b.store(new_top, top_ptr)
+    if "452" not in seeds:
+        b.call("pmem_flush", [top_ptr, 8])
+    b.call("pmem_drain", [])
+    arena = b.load(b.gep(root, OFF_ARENA), PTR)
+    b.ret(b.gep(arena, aligned))
+
+
+def add_obj_alloc_construct(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """Allocate an object and copy its initial contents in.
+
+    Seed 458 omits the persist of the constructed payload.
+    """
+    b = mb.function(
+        "obj_alloc_construct",
+        [("src", PTR), ("len", I64)],
+        return_type=PTR,
+        source_file=OBJPOOL_FILE,
+    )
+    src, length = b.function.args
+    obj = b.call("pmalloc", [length], PTR)
+    b.call("memcpy", [obj, src, length])
+    if "458" not in seeds:
+        b.call("pmem_persist", [obj, length])
+    b.ret(obj)
+
+
+def add_redo_log_append(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """Append an entry to the redo log.
+
+    Seed 459 omits the persist of the entry payload (the head bump that
+    follows is persisted either way — which is what makes the bug
+    dangerous: the head claims an entry whose bytes may not be durable).
+    """
+    b = mb.function(
+        "redo_log_append",
+        [("src", PTR), ("len", I64)],
+        source_file=OBJPOOL_FILE,
+    )
+    src, length = b.function.args
+    root = _root(b)
+    log = b.load(b.gep(root, OFF_LOG), PTR)
+    head_ptr = b.gep(root, OFF_LOG_HEAD)
+    head = b.load(head_ptr)
+    dst = b.gep(log, head)
+    b.call("memcpy", [dst, src, length])
+    if "459" not in seeds:
+        b.call("pmem_persist", [dst, length])
+    b.store(b.add(head, length), head_ptr)
+    b.call("pmem_persist", [head_ptr, 8])
+    b.ret()
+
+
+def add_oid_helpers(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """OID (object identifier) helpers.
+
+    ``oid_write`` stores the two OID words; persistence is the caller's
+    job (it is also used on volatile OID temporaries).
+    ``set_oid_persist`` is the persistent wrapper; seed 460 omits its
+    persist call.
+    """
+    b = mb.function(
+        "oid_write",
+        [("oid", PTR), ("base", I64), ("off", I64)],
+        source_file=OBJPOOL_FILE,
+    )
+    oid, base, off = b.function.args
+    b.store(base, b.gep(oid, 0))
+    b.store(off, b.gep(oid, 8))
+    b.ret()
+
+    b = mb.function(
+        "set_oid_persist",
+        [("oid", PTR), ("base", I64), ("off", I64)],
+        source_file=OBJPOOL_FILE,
+    )
+    oid, base, off = b.function.args
+    b.call("oid_write", [oid, base, off])
+    if "460" not in seeds:
+        b.call("pmem_persist", [oid, 16])
+    b.ret()
+
+
+def add_field_helpers(mb: ModuleBuilder) -> None:
+    """Small leaf setters used by PMDK's tools and unit tests.
+
+    These only ever see PM pointers, so when a *test* forgets to flush
+    after calling them, the heuristic correctly keeps the fix
+    intraprocedural (Fig. 3's issues 940/943 class).
+    """
+    b = mb.function(
+        "set_flag", [("obj", PTR), ("flags", I64)], source_file=OBJPOOL_FILE
+    )
+    obj, flags = b.function.args
+    b.store(flags, b.gep(obj, 0))
+    b.ret()
+
+    b = mb.function(
+        "checksum_update", [("obj", PTR), ("csum", I64)], source_file=OBJPOOL_FILE
+    )
+    obj, csum = b.function.args
+    b.store(csum, b.gep(obj, 8))
+    b.ret()
+
+
+def add_objpool(mb: ModuleBuilder, seeds: FrozenSet[str] = frozenset()) -> None:
+    """Add the whole object-pool layer (requires stdlib + libpmem)."""
+    unknown = set(seeds) - LIBRARY_SEEDS - {"585", "940", "942", "943", "945"}
+    if unknown:
+        raise ValueError(f"unknown objpool bug seeds: {sorted(unknown)}")
+    add_pool_create(mb, seeds)
+    add_pmalloc(mb, seeds)
+    add_obj_alloc_construct(mb, seeds)
+    add_redo_log_append(mb, seeds)
+    add_oid_helpers(mb, seeds)
+    add_field_helpers(mb)

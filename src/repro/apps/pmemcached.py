@@ -1,0 +1,455 @@
+"""memcached-pm: a slab-allocated persistent cache, in IR.
+
+Models Lenovo's PMDK port of memcached: fixed-size items carved from a
+slab area, a free list, a chained hash index, and statistics, all in
+persistent memory.  Requests are staged through volatile buffers (like
+the real server's connection buffers).
+
+The paper found 10 previously-undocumented durability bugs in
+memcached-pm with pmemcheck; we seed 10 of the same classes
+(``mc-1`` ... ``mc-10``, all on by default).  Persistent layouts are
+arranged so each seeded bug sits on its own cache line — durability
+bugs that share a line with correctly-persisted data are masked by the
+neighbour's flush (line-granular flushing), which is also true under
+real pmemcheck.
+
+====== ================================================================
+seed   omitted persistence
+====== ================================================================
+mc-1   hash-table zeroing (memset at init) never persisted
+mc-2   free-list links built at init never persisted
+mc-3   free-list head pop not persisted (set path)
+mc-4   item flags field not persisted (set path)
+mc-5   item key bytes (memcpy) not persisted
+mc-6   item data bytes (memcpy) not persisted (insert)
+mc-7   hash-bucket head publish not persisted
+mc-8   stats counter (total_sets) not persisted
+mc-9   data overwrite not persisted (update path)
+mc-10  chain unlink not persisted, and no fence follows on that path
+       (missing-flush&fence)
+====== ================================================================
+
+Item layout (fixed ``ITEM_SIZE`` = 256 bytes, four cache lines — each
+independently-persisted field group on its own line)::
+
+    line 0:  +0 h_next  +8 hash  +16 klen  +24 vlen  +32 exptime
+    line 1:  +64 flags
+    line 2:  +128 key[24]
+    line 3:  +192 data[64]
+
+Pool-root layout (``pm_root(320)``; line-isolated hot fields)::
+
+    +80 table  +88 nbuckets  +96 slabs     (one line, init-only)
+    +128 free_head                          (own line)
+    +192 stats_sets                         (own line)
+    +256 stats_items                        (own line)
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..interp.interpreter import ExecutionResult, Interpreter
+from ..ir.builder import IRBuilder, ModuleBuilder
+from ..ir.module import Module
+from ..ir.types import I64, PTR
+from .pmdk_mini import build_pmdk_module
+
+MC_FILE = "memcached.c"
+
+ITEM_SIZE = 256
+IT_HNEXT = 0
+IT_HASH = 8
+IT_KLEN = 16
+IT_VLEN = 24
+IT_EXPTIME = 32
+IT_FLAGS = 64
+IT_KEY = 128
+IT_DATA = 192
+KEY_CAP = 24
+DATA_CAP = 64
+
+ROOT_SIZE = 320
+OFF_TABLE = 80
+OFF_NBUCKETS = 88
+OFF_SLABS = 96
+OFF_FREE_HEAD = 128
+OFF_STATS_SETS = 192
+OFF_STATS_ITEMS = 256
+
+MC_SEEDS = frozenset({f"mc-{i}" for i in range(1, 11)})
+
+
+def _persist_unless(b: IRBuilder, seeds: FrozenSet[str], seed: str, ptr, length):
+    if seed not in seeds:
+        b.call("pmem_persist", [ptr, length])
+
+
+def _add_mc_init(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    b = mb.function(
+        "mc_init",
+        [("nbuckets", I64), ("nitems", I64)],
+        source_file=MC_FILE,
+    )
+    nbuckets, nitems = b.function.args
+    root = b.call("pm_root", [ROOT_SIZE], PTR)
+    table_bytes = b.mul(nbuckets, 8)
+    table = b.call("pm_alloc", [table_bytes], PTR)
+    b.call("memset", [table, 0, table_bytes])
+    _persist_unless(b, seeds, "mc-1", table, table_bytes)
+    b.store(table, b.gep(root, OFF_TABLE), PTR)
+    b.store(nbuckets, b.gep(root, OFF_NBUCKETS))
+    b.call("pmem_persist", [b.gep(root, OFF_TABLE), 16])
+
+    slabs = b.call("pm_alloc", [b.mul(nitems, ITEM_SIZE)], PTR)
+    b.store(slabs, b.gep(root, OFF_SLABS), PTR)
+    b.call("pmem_persist", [b.gep(root, OFF_SLABS), 8])
+
+    # Thread every item onto the free list (last item's next = null).
+    i_slot = b.alloca(8)
+    b.store(0, i_slot)
+    cond = b.new_block("cond")
+    body = b.new_block("body")
+    tail = b.new_block("tail")
+    b.jmp(cond)
+
+    b.position_at_end(cond)
+    i = b.load(i_slot)
+    last = b.sub(nitems, 1)
+    more = b.icmp("ult", i, last)
+    b.br(more, body, tail)
+
+    b.position_at_end(body)
+    i = b.load(i_slot)
+    item = b.gep(slabs, b.mul(i, ITEM_SIZE))
+    nxt = b.gep(slabs, b.mul(b.add(i, 1), ITEM_SIZE))
+    b.store(nxt, b.gep(item, IT_HNEXT), PTR)
+    b.store(b.add(i, 1), i_slot)
+    b.jmp(cond)
+
+    b.position_at_end(tail)
+    i = b.load(i_slot)
+    item = b.gep(slabs, b.mul(i, ITEM_SIZE))
+    b.store(0, b.gep(item, IT_HNEXT))
+    b.call("pmem_persist", [b.gep(item, IT_HNEXT), 8])
+    _persist_unless(b, seeds, "mc-2", slabs, b.mul(nitems, ITEM_SIZE))
+    b.store(slabs, b.gep(root, OFF_FREE_HEAD), PTR)
+    b.store(0, b.gep(root, OFF_STATS_SETS))
+    b.store(0, b.gep(root, OFF_STATS_ITEMS))
+    # Covers the free_head, stats_sets, and stats_items lines.
+    b.call("pmem_persist", [b.gep(root, OFF_FREE_HEAD), ROOT_SIZE - OFF_FREE_HEAD])
+    b.ret()
+
+
+def _add_mc_find(mb: ModuleBuilder) -> None:
+    b = mb.function(
+        "mc_find",
+        [("key", PTR), ("klen", I64), ("h", I64)],
+        return_type=PTR,
+        source_file=MC_FILE,
+    )
+    key, klen, h = b.function.args
+    root = b.call("pm_root", [ROOT_SIZE], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    it_slot = b.alloca(8)
+    b.store(b.load(bucket, PTR), it_slot, PTR)
+
+    loop = b.new_block("loop")
+    check = b.new_block("check")
+    deep = b.new_block("deep")
+    advance = b.new_block("advance")
+    found = b.new_block("found")
+    miss = b.new_block("miss")
+    b.jmp(loop)
+
+    b.position_at_end(loop)
+    it = b.load(it_slot, PTR)
+    is_null = b.icmp("eq", it, 0)
+    b.br(is_null, miss, check)
+
+    b.position_at_end(check)
+    it = b.load(it_slot, PTR)
+    ih = b.load(b.gep(it, IT_HASH))
+    ikl = b.load(b.gep(it, IT_KLEN))
+    h_eq = b.icmp("eq", ih, h)
+    k_eq = b.icmp("eq", ikl, klen)
+    both = b.and_(b.cast("zext", h_eq, I64), b.cast("zext", k_eq, I64))
+    maybe = b.icmp("ne", both, 0)
+    b.br(maybe, deep, advance)
+    b.position_at_end(deep)
+    it = b.load(it_slot, PTR)
+    diff = b.call("memcmp", [b.gep(it, IT_KEY), key, klen], I64)
+    same = b.icmp("eq", diff, 0)
+    b.br(same, found, advance)
+
+    b.position_at_end(advance)
+    it = b.load(it_slot, PTR)
+    b.store(b.load(b.gep(it, IT_HNEXT), PTR), it_slot, PTR)
+    b.jmp(loop)
+
+    b.position_at_end(found)
+    b.ret(b.load(it_slot, PTR))
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_mc_set(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    b = mb.function(
+        "mc_set",
+        [("key", PTR), ("klen", I64), ("val", PTR), ("vlen", I64), ("flags", I64)],
+        return_type=I64,
+        source_file=MC_FILE,
+    )
+    key, klen, val, vlen, flags = b.function.args
+    scratch = mb.module.get_global("mc_scratch")
+    # Stage the request through the connection buffer (volatile).
+    b.call("memcpy", [scratch, key, klen])
+    scratch_val = b.gep(scratch, 64)
+    b.call("memcpy", [scratch_val, val, vlen])
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    it = b.call("mc_find", [scratch, klen, h], PTR)
+    root = b.call("pm_root", [ROOT_SIZE], PTR)
+    update = b.new_block("update")
+    insert = b.new_block("insert")
+    hit = b.icmp("ne", it, 0)
+    b.br(hit, update, insert)
+
+    # -- update in place --------------------------------------------------------
+    b.position_at_end(update)
+    data = b.gep(it, IT_DATA)
+    b.call("memcpy", [data, scratch_val, vlen])
+    _persist_unless(b, seeds, "mc-9", data, vlen)
+    b.store(vlen, b.gep(it, IT_VLEN))
+    b.call("pmem_persist", [b.gep(it, IT_VLEN), 8])
+    b.call("checkpoint", [])
+    b.ret(1)
+
+    # -- insert: pop a free item --------------------------------------------------
+    b.position_at_end(insert)
+    free_head_ptr = b.gep(root, OFF_FREE_HEAD)
+    item = b.load(free_head_ptr, PTR)
+    has_item = b.icmp("ne", item, 0)
+    fill = b.new_block("fill")
+    full = b.new_block("full")
+    b.br(has_item, fill, full)
+
+    b.position_at_end(fill)
+    nxt_free = b.load(b.gep(item, IT_HNEXT), PTR)
+    b.store(nxt_free, free_head_ptr, PTR)
+    _persist_unless(b, seeds, "mc-3", free_head_ptr, 8)
+
+    # Header (line 0): always persisted as a unit.
+    b.store(h, b.gep(item, IT_HASH))
+    b.store(klen, b.gep(item, IT_KLEN))
+    b.store(vlen, b.gep(item, IT_VLEN))
+    b.store(0, b.gep(item, IT_EXPTIME))
+    b.call("pmem_persist", [b.gep(item, IT_HASH), 32])
+
+    # Lines 1 and 2: flags, then key bytes (seeds mc-4, mc-5).
+    b.store(flags, b.gep(item, IT_FLAGS))
+    _persist_unless(b, seeds, "mc-4", b.gep(item, IT_FLAGS), 8)
+    b.call("memcpy", [b.gep(item, IT_KEY), scratch, klen])
+    _persist_unless(b, seeds, "mc-5", b.gep(item, IT_KEY), klen)
+    # Line 2: data bytes (seed mc-6).
+    b.call("memcpy", [b.gep(item, IT_DATA), scratch_val, vlen])
+    _persist_unless(b, seeds, "mc-6", b.gep(item, IT_DATA), vlen)
+
+    # Link into the hash chain; the bucket-head publish is seed mc-7.
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    head = b.load(bucket, PTR)
+    b.store(head, b.gep(item, IT_HNEXT), PTR)
+    b.call("pmem_persist", [b.gep(item, IT_HNEXT), 8])
+    b.store(item, bucket, PTR)
+    _persist_unless(b, seeds, "mc-7", bucket, 8)
+
+    sets_ptr = b.gep(root, OFF_STATS_SETS)
+    b.store(b.add(b.load(sets_ptr), 1), sets_ptr)
+    _persist_unless(b, seeds, "mc-8", sets_ptr, 8)
+    b.call("pmem_drain", [])
+    b.call("checkpoint", [])
+    b.ret(0)
+
+    b.position_at_end(full)
+    b.ret(2)  # out of memory
+
+
+def _add_mc_get(mb: ModuleBuilder) -> None:
+    b = mb.function(
+        "mc_get",
+        [("key", PTR), ("klen", I64)],
+        return_type=I64,
+        source_file=MC_FILE,
+    )
+    key, klen = b.function.args
+    scratch = mb.module.get_global("mc_scratch")
+    reply = mb.module.get_global("mc_reply")
+    b.call("memcpy", [scratch, key, klen])
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    it = b.call("mc_find", [scratch, klen, h], PTR)
+    hit = b.new_block("hit")
+    miss = b.new_block("miss")
+    found = b.icmp("ne", it, 0)
+    b.br(found, hit, miss)
+
+    b.position_at_end(hit)
+    vlen = b.load(b.gep(it, IT_VLEN))
+    b.call("memcpy", [reply, b.gep(it, IT_DATA), vlen])
+    b.ret(vlen)
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def _add_mc_delete(mb: ModuleBuilder, seeds: FrozenSet[str]) -> None:
+    """Unlink an item and push it back to the free list.
+
+    With seed mc-10 the chain unlink — deliberately ordered last on
+    this path — lacks any flush, and no fence follows before the
+    checkpoint: the missing-flush&fence class.
+    """
+    b = mb.function(
+        "mc_delete",
+        [("key", PTR), ("klen", I64)],
+        return_type=I64,
+        source_file=MC_FILE,
+    )
+    key, klen = b.function.args
+    scratch = mb.module.get_global("mc_scratch")
+    b.call("memcpy", [scratch, key, klen])
+    h = b.call("fnv1a64", [scratch, klen], I64)
+    root = b.call("pm_root", [ROOT_SIZE], PTR)
+    table = b.load(b.gep(root, OFF_TABLE), PTR)
+    nbuckets = b.load(b.gep(root, OFF_NBUCKETS))
+    bucket = b.gep(table, b.mul(b.urem(h, nbuckets), 8))
+    prev_slot = b.alloca(8)
+    b.store(bucket, prev_slot, PTR)
+
+    loop = b.new_block("loop")
+    check = b.new_block("check")
+    deep = b.new_block("deep")
+    matched = b.new_block("matched")
+    advance = b.new_block("advance")
+    miss = b.new_block("miss")
+    b.jmp(loop)
+
+    b.position_at_end(loop)
+    slot = b.load(prev_slot, PTR)
+    it = b.load(slot, PTR)
+    is_null = b.icmp("eq", it, 0)
+    b.br(is_null, miss, check)
+
+    b.position_at_end(check)
+    slot = b.load(prev_slot, PTR)
+    it = b.load(slot, PTR)
+    ih = b.load(b.gep(it, IT_HASH))
+    ikl = b.load(b.gep(it, IT_KLEN))
+    h_eq = b.icmp("eq", ih, h)
+    k_eq = b.icmp("eq", ikl, klen)
+    both = b.and_(b.cast("zext", h_eq, I64), b.cast("zext", k_eq, I64))
+    maybe = b.icmp("ne", both, 0)
+    b.br(maybe, deep, advance)
+    b.position_at_end(deep)
+    slot = b.load(prev_slot, PTR)
+    it = b.load(slot, PTR)
+    diff = b.call("memcmp", [b.gep(it, IT_KEY), key, klen], I64)
+    same = b.icmp("eq", diff, 0)
+    b.br(same, matched, advance)
+
+    b.position_at_end(matched)
+    slot = b.load(prev_slot, PTR)
+    it = b.load(slot, PTR)
+    nxt = b.load(b.gep(it, IT_HNEXT), PTR)
+    free_head_ptr = b.gep(root, OFF_FREE_HEAD)
+    old_free = b.load(free_head_ptr, PTR)
+    b.store(old_free, b.gep(it, IT_HNEXT), PTR)
+    b.store(it, free_head_ptr, PTR)
+    b.call("pmem_persist", [b.gep(it, IT_HNEXT), 8])
+    b.call("pmem_persist", [free_head_ptr, 8])
+    items_ptr = b.gep(root, OFF_STATS_ITEMS)
+    b.store(b.sub(b.load(items_ptr), 1), items_ptr)
+    b.call("pmem_persist", [items_ptr, 8])
+    # The unlink itself: with seed mc-10 nothing flushes or fences it.
+    b.store(nxt, slot, PTR)
+    if "mc-10" not in seeds:
+        b.call("pmem_persist", [slot, 8])
+    b.call("checkpoint", [])
+    b.ret(1)
+
+    b.position_at_end(advance)
+    slot = b.load(prev_slot, PTR)
+    it = b.load(slot, PTR)
+    b.store(b.gep(it, IT_HNEXT), prev_slot, PTR)
+    b.jmp(loop)
+
+    b.position_at_end(miss)
+    b.ret(0)
+
+
+def build_pmemcached(
+    seeds: FrozenSet[str] = MC_SEEDS, name: str = "memcached"
+) -> Module:
+    """Build memcached-pm; the default seeds all 10 study bugs."""
+    unknown = set(seeds) - MC_SEEDS
+    if unknown:
+        raise ValueError(f"unknown memcached seeds: {sorted(unknown)}")
+    mb = build_pmdk_module(name=name)
+    mb.global_("mc_req", 256, "vol")
+    mb.global_("mc_scratch", 256, "vol")
+    mb.global_("mc_reply", 256, "vol")
+    _add_mc_init(mb, frozenset(seeds))
+    _add_mc_find(mb)
+    _add_mc_set(mb, frozenset(seeds))
+    _add_mc_get(mb)
+    _add_mc_delete(mb, frozenset(seeds))
+    return mb.module
+
+
+class Memcached:
+    """Host driver for the memcached-pm server.
+
+    Keys up to 24 bytes, values up to 64; the durability corpus uses
+    8-byte-multiple lengths so copies stay on the memcpy chunk path.
+    """
+
+    VAL_OFF = 128
+
+    def __init__(self, module: Module, interp: Optional[Interpreter] = None):
+        self.module = module
+        self.interp = interp or Interpreter(module)
+        self.req_addr = self.interp.machine.global_addrs["mc_req"]
+        self.reply_addr = self.interp.machine.global_addrs["mc_reply"]
+
+    def init(self, nbuckets: int = 64, nitems: int = 256) -> None:
+        self.interp.call("mc_init", [nbuckets, nitems])
+
+    def _write(self, key: bytes, val: bytes = b"") -> None:
+        space = self.interp.machine.space
+        space.write_bytes(self.req_addr, key)
+        if val:
+            space.write_bytes(self.req_addr + self.VAL_OFF, val)
+
+    def set(self, key: bytes, val: bytes, flags: int = 0) -> ExecutionResult:
+        if len(key) > KEY_CAP or len(val) > DATA_CAP:
+            raise ValueError("key/value exceed item capacity")
+        self._write(key, val)
+        return self.interp.call(
+            "mc_set",
+            [self.req_addr, len(key), self.req_addr + self.VAL_OFF, len(val), flags],
+        )
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._write(key)
+        result = self.interp.call("mc_get", [self.req_addr, len(key)])
+        if result.value == 0:
+            return None
+        return self.interp.machine.space.read_bytes(self.reply_addr, result.value)
+
+    def delete(self, key: bytes) -> bool:
+        self._write(key)
+        return bool(self.interp.call("mc_delete", [self.req_addr, len(key)]).value)
+
+    def finish(self):
+        return self.interp.finish()

@@ -1,0 +1,146 @@
+"""Command-line front-end: the build-server workflow, file to file.
+
+Mirrors how the original tool is driven (WLLVM bitcode in, pmemcheck
+log in, fixed bitcode out), but over this package's textual formats::
+
+    python -m repro run    app.ir --entry main --args 1 2
+    python -m repro detect app.ir --entry main --trace-out app.trace
+    python -m repro fix    app.ir --trace app.trace -o app.fixed.ir
+    python -m repro show   app.ir
+
+``detect`` + ``fix`` compose exactly like the paper's Fig. 2: the trace
+file produced by ``detect`` is the only coupling between the two steps,
+so the fix step can run on a different build of the module (bug
+localization falls back to function + source line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Hippocrates
+from .detect import check_trace
+from .errors import ReproError
+from .interp import Interpreter, SimulatedCrash
+from .ir import format_module, parse_module, verify_module
+from .trace import dump_trace, load_trace
+
+
+def _load_module(path: str):
+    with open(path) as handle:
+        module = parse_module(handle.read())
+    verify_module(module)
+    return module
+
+
+def _run_entry(module, entry: str, args: List[int]):
+    """Execute an entry point; returns the finished interpreter."""
+    interp = Interpreter(module)
+    try:
+        result = interp.call(entry, args)
+        print(f"@{entry}({', '.join(map(str, args))}) -> {result.value}")
+        print(f"steps={result.steps} cycles={result.cycles}")
+        if interp.output:
+            print("output:", " ".join(str(v) for v in interp.output))
+    except SimulatedCrash:
+        print("process crashed (crash_now)")
+    interp.finish()
+    return interp
+
+
+def cmd_run(ns: argparse.Namespace) -> int:
+    module = _load_module(ns.module)
+    _run_entry(module, ns.entry, [int(a, 0) for a in ns.args])
+    return 0
+
+
+def cmd_show(ns: argparse.Namespace) -> int:
+    module = _load_module(ns.module)
+    print(format_module(module), end="")
+    return 0
+
+
+def cmd_detect(ns: argparse.Namespace) -> int:
+    module = _load_module(ns.module)
+    interp = _run_entry(module, ns.entry, [int(a, 0) for a in ns.args])
+    trace = interp.machine.trace
+    if ns.trace_out:
+        with open(ns.trace_out, "w") as handle:
+            handle.write(dump_trace(trace))
+        print(f"trace ({len(trace)} events) written to {ns.trace_out}")
+    detection = check_trace(trace)
+    print(detection.summary())
+    return 1 if detection.bugs else 0
+
+
+def cmd_fix(ns: argparse.Namespace) -> int:
+    module = _load_module(ns.module)
+    with open(ns.trace) as handle:
+        trace = load_trace(handle.read())
+    fixer = Hippocrates(module, trace, heuristic=ns.heuristic)
+    plan = fixer.compute_fixes()
+    print(plan.describe())
+    report = fixer.apply(plan)
+    print(report.summary())
+    output_path = ns.output or ns.module
+    with open(output_path, "w") as handle:
+        handle.write(format_module(module))
+    print(f"fixed module written to {output_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hippocrates (ASPLOS 2021 reproduction): detect and "
+        "repair persistent-memory durability bugs in textual IR modules.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an entry point")
+    run.add_argument("module")
+    run.add_argument("--entry", default="main")
+    run.add_argument("--args", nargs="*", default=[])
+    run.set_defaults(fn=cmd_run)
+
+    show = sub.add_parser("show", help="print a module's textual IR")
+    show.add_argument("module")
+    show.set_defaults(fn=cmd_show)
+
+    detect = sub.add_parser(
+        "detect", help="run under the PM bug finder (exit 1 if bugs found)"
+    )
+    detect.add_argument("module")
+    detect.add_argument("--entry", default="main")
+    detect.add_argument("--args", nargs="*", default=[])
+    detect.add_argument("--trace-out", help="write the pmemcheck-style log here")
+    detect.set_defaults(fn=cmd_detect)
+
+    fix = sub.add_parser("fix", help="repair a module from a trace file")
+    fix.add_argument("module")
+    fix.add_argument("--trace", required=True, help="pmemcheck-style log file")
+    fix.add_argument("-o", "--output", help="output path (default: in place)")
+    fix.add_argument(
+        "--heuristic",
+        choices=("full", "off"),
+        default="full",
+        help="hoisting heuristic (Trace-AA needs the live machine and is "
+        "unavailable file-to-file)",
+    )
+    fix.set_defaults(fn=cmd_fix)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ns = build_parser().parse_args(argv)
+    try:
+        return ns.fn(ns)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

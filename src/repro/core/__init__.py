@@ -1,0 +1,59 @@
+"""Hippocrates: the paper's contribution — automated, provably-safe
+repair of persistent-memory durability bugs.
+
+Typical use::
+
+    from repro.detect import pmemcheck_run
+    from repro.core import Hippocrates
+
+    detection, trace, interp = pmemcheck_run(module, driver)
+    report = Hippocrates(module, trace, interp.machine).fix()
+    # module now has every reported bug repaired
+"""
+
+from .fixes import (
+    Fix,
+    FixPlan,
+    HoistedFix,
+    InsertFenceAfterFlush,
+    InsertFenceAfterStore,
+    InsertFlush,
+    InsertFlushAndFence,
+    insert_covering_flushes,
+)
+from .heuristic import Candidate, HoistDecision, choose_fix_location, evaluate_candidates
+from .hippocrates import HEURISTICS, FixReport, Hippocrates, fix_module
+from .intraprocedural import generate_intraprocedural_fixes
+from .locate import Locator
+from .reduction import reduce_fixes
+from .subprogram import PM_SUFFIX, SubprogramTransformer, clone_function
+from .validate import assert_fixed, do_no_harm, observable_behavior, revalidate
+
+__all__ = [
+    "assert_fixed",
+    "Candidate",
+    "choose_fix_location",
+    "clone_function",
+    "do_no_harm",
+    "evaluate_candidates",
+    "Fix",
+    "fix_module",
+    "FixPlan",
+    "FixReport",
+    "generate_intraprocedural_fixes",
+    "HEURISTICS",
+    "Hippocrates",
+    "HoistDecision",
+    "HoistedFix",
+    "InsertFenceAfterFlush",
+    "InsertFenceAfterStore",
+    "insert_covering_flushes",
+    "InsertFlush",
+    "InsertFlushAndFence",
+    "Locator",
+    "observable_behavior",
+    "PM_SUFFIX",
+    "reduce_fixes",
+    "revalidate",
+    "SubprogramTransformer",
+]

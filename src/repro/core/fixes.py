@@ -1,0 +1,180 @@
+"""Fix representations.
+
+Hippocrates computes a *fix plan* — a list of these objects — in three
+phases (intraprocedural generation, reduction, hoisting) and only then
+mutates the module.  Keeping the plan first-class makes the phases
+testable in isolation and lets the report say exactly what was done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.instructions import Call, Flush, Gep, Instruction, Store
+from ..ir.values import Constant
+from ..detect.reports import BugReport
+
+
+def insert_covering_flushes(store: Store, kind: str = "clwb") -> List[Instruction]:
+    """Insert flush(es) after a store, covering every cache line the
+    store touches.
+
+    A multi-byte store may straddle a line boundary; flushing only the
+    pointer's line would leave the tail bytes dirty.  The first flush
+    targets the store's pointer, the second (for stores wider than one
+    byte) targets the last stored byte — on the common non-straddling
+    path it coalesces for almost nothing.
+
+    Returns the inserted instructions, in order.
+    """
+    block = store.parent
+    if block is None:
+        raise ValueError(f"store #{store.iid} is detached")
+    first = Flush(store.pointer, kind)
+    first.loc = store.loc
+    block.insert_after(store, first)
+    inserted: List[Instruction] = [first]
+    if store.size > 1:
+        tail_ptr = Gep(store.pointer, Constant(store.size - 1))
+        tail_ptr.loc = store.loc
+        block.insert_after(first, tail_ptr)
+        tail = Flush(tail_ptr, kind)
+        tail.loc = store.loc
+        block.insert_after(tail_ptr, tail)
+        inserted.extend([tail_ptr, tail])
+    return inserted
+
+
+@dataclass
+class Fix:
+    """Base class; ``bugs`` are the reports this fix discharges."""
+
+    bugs: List[BugReport] = field(default_factory=list)
+    #: instructions inserted when the fix was applied
+    inserted: List[Instruction] = field(default_factory=list)
+
+    @property
+    def bug_ids(self) -> List[int]:
+        return [b.report_id for b in self.bugs]
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return "fix"
+
+
+@dataclass
+class InsertFlush(Fix):
+    """Intraprocedural: insert ``flush(ptr)`` right after the store.
+
+    Used for missing-flush bugs where an existing later fence already
+    orders the inserted flush (Theorem 2).
+    """
+
+    store: Optional[Store] = None
+    flush_kind: str = "clwb"
+
+    def describe(self) -> str:
+        assert self.store is not None
+        return (
+            f"intraprocedural flush({self.flush_kind}) after store "
+            f"#{self.store.iid} at {self.store.loc}"
+        )
+
+
+@dataclass
+class InsertFenceAfterFlush(Fix):
+    """Intraprocedural: insert a fence right after an existing flush.
+
+    Used for missing-fence bugs (Theorem 1).
+    """
+
+    flush: Optional[Flush] = None
+    fence_kind: str = "sfence"
+
+    def describe(self) -> str:
+        assert self.flush is not None
+        return (
+            f"intraprocedural fence({self.fence_kind}) after flush "
+            f"#{self.flush.iid} at {self.flush.loc}"
+        )
+
+
+@dataclass
+class InsertFenceAfterStore(Fix):
+    """Intraprocedural: insert a fence right after a non-temporal store.
+
+    MOVNT stores need no flush (the data bypasses the cache), so the
+    missing-fence fix anchors to the store itself (Theorem 1).
+    """
+
+    store: Optional[Store] = None
+    fence_kind: str = "sfence"
+
+    def describe(self) -> str:
+        assert self.store is not None
+        return (
+            f"intraprocedural fence({self.fence_kind}) after non-temporal "
+            f"store #{self.store.iid} at {self.store.loc}"
+        )
+
+
+@dataclass
+class InsertFlushAndFence(Fix):
+    """Intraprocedural: flush after the store, fence after the flush.
+
+    Used for missing-flush&fence bugs (Theorem 3); this is the paper's
+    Listing 1 shape.
+    """
+
+    store: Optional[Store] = None
+    flush_kind: str = "clwb"
+    fence_kind: str = "sfence"
+
+    def describe(self) -> str:
+        assert self.store is not None
+        return (
+            f"intraprocedural flush+fence after store #{self.store.iid} "
+            f"at {self.store.loc}"
+        )
+
+
+@dataclass
+class HoistedFix(Fix):
+    """Interprocedural: persistent subprogram transformation (Theorem 4).
+
+    The function called at ``call_site`` is cloned into a ``_PM``
+    variant whose PM stores are all flushed; the call site is retargeted
+    and a single fence is inserted after it.
+    """
+
+    call_site: Optional[Call] = None
+    #: frames between the store's function and the clone root (the
+    #: paper reports "1 function above", "2 functions above")
+    hoist_depth: int = 1
+
+    def describe(self) -> str:
+        assert self.call_site is not None
+        return (
+            f"interprocedural fix: persistent subprogram of "
+            f"@{self.call_site.callee} at call site #{self.call_site.iid} "
+            f"({self.call_site.loc}), {self.hoist_depth} function(s) above "
+            f"the PM modification"
+        )
+
+
+@dataclass
+class FixPlan:
+    """The full plan plus bookkeeping accumulated while applying it."""
+
+    fixes: List[Fix] = field(default_factory=list)
+
+    def intraprocedural(self) -> List[Fix]:
+        return [f for f in self.fixes if not isinstance(f, HoistedFix)]
+
+    def interprocedural(self) -> List[HoistedFix]:
+        return [f for f in self.fixes if isinstance(f, HoistedFix)]
+
+    def describe(self) -> str:
+        lines = [f"{len(self.fixes)} fix(es):"]
+        lines.extend("  " + fix.describe() for fix in self.fixes)
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Phase 3: the hoisting heuristic (paper §4.3).
+
+Decides, per bug, whether the intraprocedural fix should be converted
+into an interprocedural one, and at which call site.  The candidate set
+is the original PM-modifying store plus the call sites of every
+function on the store's call stack, bounded above by the function
+containing the durability boundary *I* (hoisting above *I*'s function
+would require an extra fence before *I*, defeating the purpose).
+
+Each candidate is scored as ``#PM aliases − #non-PM aliases`` of its
+pointer argument(s) via Andersen points-to (see
+:mod:`repro.analysis.aliasing`).  Call sites passing no pointer
+arguments score −∞, *as do all their parents* (PM must be flowing via
+globals, so hoisting buys nothing).  The highest score wins; ties go to
+the innermost candidate (the store itself, when everything ties, which
+yields an intraprocedural fix).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..analysis.aliasing import PMClassification
+from ..detect.reports import BugReport
+from ..ir.instructions import Call, Store
+from .locate import Locator
+
+
+@dataclass
+class Candidate:
+    """One possible fix location for a bug."""
+
+    #: the store itself (intraprocedural) or a call site (hoist target)
+    instr: Union[Store, Call]
+    #: index into the store event's stack; the store is the innermost
+    stack_index: int
+    score: float = 0.0
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.instr, Store)
+
+
+@dataclass
+class HoistDecision:
+    """Outcome of the heuristic for one bug."""
+
+    bug: BugReport
+    chosen: Candidate
+    candidates: List[Candidate]
+
+    @property
+    def hoist(self) -> bool:
+        return not self.chosen.is_store
+
+    @property
+    def hoist_depth(self) -> int:
+        """How many functions above the PM modification the subprogram
+        root sits (the paper's "implemented 1 function above").
+
+        The fix (the retargeted call + trailing fence) lives in the
+        function at ``stack_index``.  Depth 1 means the fix sits in the
+        immediate caller of the function containing the store (the
+        cloned subprogram root *is* the store's function); Listing 5's
+        fix in ``foo`` is depth 2.
+        """
+        if not self.hoist:
+            return 0
+        store_index = len(self.bug.store.stack) - 1
+        return store_index - self.chosen.stack_index
+
+
+def _min_candidate_index(bug: BugReport) -> int:
+    """The shallowest stack index at which hoisting is allowed.
+
+    Call sites *above* the function containing the boundary *I* are
+    excluded: a subprogram ending there could return after *I*, so its
+    trailing fence would come too late (and an extra pre-*I* fence would
+    be needed).  We find how deep the store's stack and the boundary's
+    stack agree; call sites shallower than the boundary's own frame are
+    off-limits.
+    """
+    store_stack = bug.store.stack
+    boundary_stack = bug.boundary.stack
+    if not boundary_stack or boundary_stack[-1].function not in {
+        frame.function for frame in store_stack
+    }:
+        # Boundary in the host/exit or in an unrelated function: any
+        # call site on the store's stack is fair game.
+        return 0
+    common = 0
+    for store_frame, boundary_frame in zip(store_stack, boundary_stack):
+        if store_frame.function != boundary_frame.function:
+            break
+        common += 1
+    # The boundary function's frame is at index common-1; call sites at
+    # that index (calls made *by* the boundary function) are allowed.
+    return max(0, common - 1)
+
+
+def evaluate_candidates(
+    bug: BugReport,
+    store: Store,
+    locator: Locator,
+    classifier: PMClassification,
+) -> List[Candidate]:
+    """Build and score the candidate list for one bug (innermost last)."""
+    stack = bug.store.stack
+    store_index = len(stack) - 1
+    min_index = _min_candidate_index(bug)
+
+    candidates: List[Candidate] = []
+    for index in range(min_index, store_index):
+        call = locator.locate_call_site(stack[index])
+        if call is None:
+            continue
+        candidates.append(Candidate(instr=call, stack_index=index))
+    candidates.append(Candidate(instr=store, stack_index=store_index))
+
+    # Score call sites; apply the −∞-and-parents rule.
+    poisoned_below = -math.inf  # indices < poisoned_below are poisoned
+    for candidate in candidates:
+        if candidate.is_store:
+            candidate.score = classifier.score(candidate.instr.pointer)  # type: ignore[union-attr]
+            continue
+        call: Call = candidate.instr  # type: ignore[assignment]
+        pointer_args = call.pointer_args()
+        if not pointer_args:
+            candidate.score = -math.inf
+            poisoned_below = max(poisoned_below, candidate.stack_index)
+        else:
+            # Score each pointer argument and take the best: a call site
+            # like memcpy(pm_dst, vol_src, n) is a good hoist target
+            # because of its PM destination, regardless of the volatile
+            # source also passed.
+            candidate.score = max(classifier.score(arg) for arg in pointer_args)
+    for candidate in candidates:
+        if not candidate.is_store and candidate.stack_index < poisoned_below:
+            candidate.score = -math.inf
+
+    return candidates
+
+
+def choose_fix_location(
+    bug: BugReport,
+    store: Store,
+    locator: Locator,
+    classifier: PMClassification,
+) -> HoistDecision:
+    """Run the heuristic for one bug."""
+    candidates = evaluate_candidates(bug, store, locator, classifier)
+    best = max(candidates, key=lambda c: (c.score, c.stack_index))
+    return HoistDecision(bug=bug, chosen=best, candidates=candidates)

@@ -1,0 +1,287 @@
+"""The Hippocrates orchestrator: Steps 1-4 of the paper's Fig. 2.
+
+Given a module and a PM trace (in-memory or pmemcheck text), it:
+
+1. parses the bug-finder output (Step 1),
+2. locates each bug's store/flush in the IR (Step 2),
+3. computes fixes in three phases — intraprocedural generation, fix
+   reduction, heuristic hoisting (Step 3),
+4. applies the fixes to the module and verifies it (Step 4).
+
+The result is a :class:`FixReport` with everything the paper's
+evaluation tables need: fix counts and kinds, hoist depths, inserted-IR
+size, and offline time/memory overhead.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..analysis.aliasing import (
+    PMClassification,
+    classify_full_aa,
+    classify_trace_aa,
+)
+from ..analysis.andersen import PointsTo
+from ..analysis.callgraph import CallGraph
+from ..detect.durability import check_trace
+from ..detect.reports import DetectionResult
+from ..errors import FixError
+from ..interp.interpreter import Machine
+from ..ir.instructions import Fence, Flush
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..trace.pmemcheck import load_trace
+from ..trace.trace import PMTrace
+from .fixes import (
+    Fix,
+    FixPlan,
+    HoistedFix,
+    InsertFenceAfterFlush,
+    InsertFenceAfterStore,
+    InsertFlush,
+    InsertFlushAndFence,
+    insert_covering_flushes,
+)
+from .heuristic import choose_fix_location
+from .intraprocedural import generate_intraprocedural_fixes
+from .locate import Locator
+from .reduction import reduce_fixes
+from .subprogram import SubprogramTransformer
+
+#: heuristic modes: Full-AA, Trace-AA, or disabled (intraprocedural only
+#: — the paper's RedisH-intra configuration)
+HEURISTICS = ("full", "trace", "off")
+
+
+@dataclass
+class FixReport:
+    """What Hippocrates did, in evaluation-table form."""
+
+    plan: FixPlan
+    heuristic: str
+    bugs_fixed: int = 0
+    fixes_applied: int = 0
+    intraprocedural_count: int = 0
+    interprocedural_count: int = 0
+    hoist_depths: List[int] = field(default_factory=list)
+    inserted_instructions: int = 0
+    functions_created: List[str] = field(default_factory=list)
+    ir_size_before: int = 0
+    ir_size_after: int = 0
+    elapsed_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+
+    @property
+    def ir_growth_percent(self) -> float:
+        if not self.ir_size_before:
+            return 0.0
+        return 100.0 * (self.ir_size_after - self.ir_size_before) / self.ir_size_before
+
+    def summary(self) -> str:
+        return (
+            f"fixed {self.bugs_fixed} bug(s) with {self.fixes_applied} fix(es) "
+            f"({self.intraprocedural_count} intraprocedural, "
+            f"{self.interprocedural_count} interprocedural); "
+            f"+{self.inserted_instructions} IR instruction(s) "
+            f"({self.ir_growth_percent:.3f}% growth), "
+            f"{len(self.functions_created)} persistent clone(s); "
+            f"heuristic={self.heuristic}"
+        )
+
+
+class Hippocrates:
+    """The automated PM durability-bug fixer.
+
+    :param module: the module to repair (mutated in place by
+        :meth:`fix`).
+    :param trace: the bug finder's trace — a :class:`PMTrace` or
+        pmemcheck-format text.
+    :param machine: the machine that produced the trace; required for
+        the Trace-AA heuristic (its allocation registry attributes
+        dynamic addresses to allocation sites).
+    :param heuristic: ``"full"`` (Full-AA), ``"trace"`` (Trace-AA), or
+        ``"off"`` (no hoisting; every fix stays intraprocedural).
+    :param detection: pre-computed bug reports; found by running the
+        pmemcheck-style checker on the trace when omitted.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        trace: Union[PMTrace, str],
+        machine: Optional[Machine] = None,
+        heuristic: str = "full",
+        detection: Optional[DetectionResult] = None,
+    ):
+        if heuristic not in HEURISTICS:
+            raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
+        if heuristic == "trace" and machine is None:
+            raise FixError("the Trace-AA heuristic requires the tracing machine")
+        self.module = module
+        self.trace = load_trace(trace) if isinstance(trace, str) else trace
+        self.machine = machine
+        self.heuristic = heuristic
+        self.detection = detection if detection is not None else check_trace(self.trace)
+        self.locator = Locator(module)
+        self._classifier: Optional[PMClassification] = None
+
+    # -- classifier ---------------------------------------------------------------
+
+    def classifier(self) -> PMClassification:
+        """The PM pointer classifier for the selected heuristic."""
+        if self._classifier is None:
+            points_to = PointsTo(self.module)
+            if self.heuristic == "trace":
+                assert self.machine is not None
+                self._classifier = classify_trace_aa(
+                    self.module, self.trace, self.machine, points_to
+                )
+            else:
+                self._classifier = classify_full_aa(self.module, points_to)
+        return self._classifier
+
+    # -- Step 3: fix computation -----------------------------------------------------
+
+    def compute_fixes(self) -> FixPlan:
+        """Phases 1-3: generate, reduce, hoist."""
+        fixes = generate_intraprocedural_fixes(self.detection.bugs, self.locator)
+        fixes = reduce_fixes(fixes)
+        if self.heuristic != "off":
+            fixes = self._hoist(fixes)
+            fixes = reduce_fixes(fixes)
+        return FixPlan(fixes=fixes)
+
+    def _hoist(self, fixes: List[Fix]) -> List[Fix]:
+        """Decide hoisting *per bug*: after reduction one flush fix may
+        cover several bugs whose stores coincide but whose call paths —
+        and therefore best fix locations — differ (the memcpy shared
+        between the key copy and the value copy)."""
+        classifier = self.classifier()
+        result: List[Fix] = []
+        hoisted_by_site: Dict[int, HoistedFix] = {}
+        for fix in fixes:
+            if not isinstance(fix, (InsertFlush, InsertFlushAndFence)):
+                result.append(fix)
+                continue
+            assert fix.store is not None
+            staying = []
+            for bug in fix.bugs:
+                decision = choose_fix_location(
+                    bug, fix.store, self.locator, classifier
+                )
+                if not decision.hoist:
+                    staying.append(bug)
+                    continue
+                call = decision.chosen.instr
+                existing = hoisted_by_site.get(call.iid)
+                if existing is not None:
+                    existing.bugs.append(bug)
+                    continue
+                hoisted = HoistedFix(
+                    bugs=[bug],
+                    call_site=call,  # type: ignore[arg-type]
+                    hoist_depth=decision.hoist_depth,
+                )
+                hoisted_by_site[call.iid] = hoisted
+                result.append(hoisted)
+            if staying:
+                fix.bugs = staying
+                result.append(fix)
+        return result
+
+    # -- Step 4: application ----------------------------------------------------------
+
+    def apply(self, plan: FixPlan) -> FixReport:
+        """Mutate the module according to the plan and verify it."""
+        report = FixReport(plan=plan, heuristic=self.heuristic)
+        report.ir_size_before = self.module.instruction_count()
+
+        transformer: Optional[SubprogramTransformer] = None
+        for fix in plan.fixes:
+            if isinstance(fix, HoistedFix):
+                if transformer is None:
+                    transformer = SubprogramTransformer(
+                        self.module, self.classifier()
+                    )
+                assert fix.call_site is not None
+                transformer.transform_call_site(fix.call_site)
+                report.interprocedural_count += 1
+                report.hoist_depths.append(fix.hoist_depth)
+            elif isinstance(fix, InsertFlush):
+                assert fix.store is not None
+                fix.inserted.extend(
+                    insert_covering_flushes(fix.store, fix.flush_kind)
+                )
+                report.intraprocedural_count += 1
+            elif isinstance(fix, InsertFlushAndFence):
+                assert fix.store is not None
+                flushes = insert_covering_flushes(fix.store, fix.flush_kind)
+                fence = Fence(fix.fence_kind)
+                fence.loc = fix.store.loc
+                flushes[-1].parent.insert_after(flushes[-1], fence)
+                fix.inserted.extend(flushes + [fence])
+                report.intraprocedural_count += 1
+            elif isinstance(fix, InsertFenceAfterFlush):
+                assert fix.flush is not None
+                fence = Fence(fix.fence_kind)
+                fence.loc = fix.flush.loc
+                fix.flush.parent.insert_after(fix.flush, fence)
+                fix.inserted.append(fence)
+                report.intraprocedural_count += 1
+            elif isinstance(fix, InsertFenceAfterStore):
+                assert fix.store is not None
+                fence = Fence(fix.fence_kind)
+                fence.loc = fix.store.loc
+                fix.store.parent.insert_after(fix.store, fence)
+                fix.inserted.append(fence)
+                report.intraprocedural_count += 1
+            else:  # pragma: no cover - exhaustive
+                raise FixError(f"cannot apply fix {fix!r}")
+
+        if transformer is not None:
+            report.functions_created = list(transformer.created)
+
+        report.fixes_applied = len(plan.fixes)
+        report.bugs_fixed = len(
+            {bug.report_id for fix in plan.fixes for bug in fix.bugs}
+        )
+        report.ir_size_after = self.module.instruction_count()
+        # Total new IR: flush/fence insertions plus the cloned function
+        # bodies (the paper's "+105 new lines of LLVM IR" counts both).
+        report.inserted_instructions = report.ir_size_after - report.ir_size_before
+        verify_module(self.module)
+        return report
+
+    # -- one-shot ------------------------------------------------------------------------
+
+    def fix(self, measure_overhead: bool = False) -> FixReport:
+        """Compute and apply all fixes; optionally measure time/memory.
+
+        The measurement is the paper's Fig. 5 "offline overhead": wall
+        time and peak memory of the whole compute+apply pipeline.
+        """
+        if measure_overhead:
+            tracemalloc.start()
+        start = time.perf_counter()
+        plan = self.compute_fixes()
+        report = self.apply(plan)
+        report.elapsed_seconds = time.perf_counter() - start
+        if measure_overhead:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            report.peak_memory_bytes = peak
+        return report
+
+
+def fix_module(
+    module: Module,
+    trace: Union[PMTrace, str],
+    machine: Optional[Machine] = None,
+    heuristic: str = "full",
+) -> FixReport:
+    """Convenience: run the full Hippocrates pipeline on a module."""
+    return Hippocrates(module, trace, machine, heuristic).fix()

@@ -1,0 +1,49 @@
+"""Phase 1: the simplest possible fixes, all intraprocedural.
+
+Every durability bug admits an intraprocedural fix (paper §3.3): a
+missing flush is fixed by flushing right after the store, a missing
+fence by fencing right after the flush, and a missing flush&fence by
+both.  These are the provably-safe building blocks (Theorems 1–3);
+later phases merge and hoist them but never need anything else.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect.reports import BugKind, BugReport
+from ..errors import FixError
+from .fixes import (
+    Fix,
+    InsertFenceAfterFlush,
+    InsertFenceAfterStore,
+    InsertFlush,
+    InsertFlushAndFence,
+)
+from .locate import Locator
+
+
+def generate_intraprocedural_fixes(
+    bugs: List[BugReport], locator: Locator
+) -> List[Fix]:
+    """One intraprocedural fix per bug report."""
+    fixes: List[Fix] = []
+    for bug in bugs:
+        if bug.kind is BugKind.MISSING_FLUSH:
+            store = locator.locate_store(bug.store)
+            fixes.append(InsertFlush(bugs=[bug], store=store))
+        elif bug.kind is BugKind.MISSING_FLUSH_FENCE:
+            store = locator.locate_store(bug.store)
+            fixes.append(InsertFlushAndFence(bugs=[bug], store=store))
+        elif bug.kind is BugKind.MISSING_FENCE:
+            if bug.flush is None:
+                # A non-temporal store: no flush exists (none is
+                # needed); the fence anchors to the store itself.
+                store = locator.locate_store(bug.store)
+                fixes.append(InsertFenceAfterStore(bugs=[bug], store=store))
+            else:
+                flush = locator.locate_flush(bug.flush)
+                fixes.append(InsertFenceAfterFlush(bugs=[bug], flush=flush))
+        else:  # pragma: no cover - exhaustive
+            raise FixError(f"unknown bug kind {bug.kind}")
+    return fixes

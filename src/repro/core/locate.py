@@ -1,0 +1,86 @@
+"""Step 2 of the pipeline: mapping trace events back to IR instructions.
+
+The paper calls this "the main engineering challenge ... mapping from
+source lines to LLVM IR using debug information".  Trace events carry
+both the instruction id and the debug location; the locator prefers the
+id (exact when fixing the very module that was traced) and falls back
+to debug-location matching (necessary when the module was re-parsed
+from text, which renumbers instruction ids — the analog of rebuilding
+the bitcode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type, TypeVar
+
+from ..errors import LocateError
+from ..ir.debuginfo import DebugLoc
+from ..ir.instructions import Call, Flush, Instruction, Store
+from ..ir.module import Module
+from ..trace.events import StackFrame, TraceEvent
+
+T = TypeVar("T", bound=Instruction)
+
+
+class Locator:
+    """Resolves (function, location, iid) triples to instructions."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._by_iid: Dict[int, Instruction] = {}
+        self._by_loc: Dict[Tuple[str, DebugLoc], List[Instruction]] = {}
+        for fn in module.functions.values():
+            for instr in fn.instructions():
+                self._by_iid[instr.iid] = instr
+                self._by_loc.setdefault((fn.name, instr.loc), []).append(instr)
+
+    def _resolve(
+        self, function: str, loc: DebugLoc, iid: int, expect: Type[T]
+    ) -> T:
+        instr = self._by_iid.get(iid)
+        if (
+            instr is not None
+            and isinstance(instr, expect)
+            and instr.function is not None
+            and instr.function.name == function
+            and instr.loc == loc
+        ):
+            return instr
+        candidates = [
+            i for i in self._by_loc.get((function, loc), []) if isinstance(i, expect)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise LocateError(
+                f"no {expect.__name__} at {function}:{loc} (trace iid {iid})"
+            )
+        raise LocateError(
+            f"ambiguous {expect.__name__} at {function}:{loc}: "
+            f"{len(candidates)} candidates"
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def locate_event(self, event: TraceEvent, expect: Type[T]) -> T:
+        """The instruction that produced a trace event."""
+        return self._resolve(event.function, event.loc, event.iid, expect)
+
+    def locate_store(self, event: TraceEvent) -> Store:
+        return self.locate_event(event, Store)
+
+    def locate_flush(self, event: TraceEvent) -> Flush:
+        return self.locate_event(event, Flush)
+
+    def locate_call_site(self, frame: StackFrame) -> Optional[Call]:
+        """The call instruction of a (caller) stack frame.
+
+        Returns None for host frames (``<exit>`` or driver-level calls
+        that have no IR call site).
+        """
+        if frame.function not in self.module.functions:
+            return None
+        try:
+            return self._resolve(frame.function, frame.loc, frame.iid, Call)
+        except LocateError:
+            return None

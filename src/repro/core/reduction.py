@@ -1,0 +1,91 @@
+"""Phase 2: fix reduction — merging redundant flush and fence fixes.
+
+Two reductions, both direct from the paper's §4.3:
+
+1. *Duplicate elimination*: two fixes that flush the same store (or
+   fence the same flush) merge into one, since one ``F(X)`` already
+   satisfies ``X -> F(X) -> M -> I`` for every bug involved.
+2. *Fence coalescing*: flush&fence fixes anchored to stores in the same
+   basic block whose bugs share the same durability boundary keep one
+   fence — after the last flush — because a single ``M`` with
+   ``F(X1) -> M`` and ``F(X2) -> M`` orders both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.basicblock import BasicBlock
+from .fixes import (
+    Fix,
+    HoistedFix,
+    InsertFenceAfterFlush,
+    InsertFenceAfterStore,
+    InsertFlush,
+    InsertFlushAndFence,
+)
+
+
+def _dedupe(fixes: List[Fix]) -> List[Fix]:
+    """Merge fixes that target the same anchor instruction."""
+    merged: Dict[Tuple[str, int], Fix] = {}
+    order: List[Tuple[str, int]] = []
+    for fix in fixes:
+        if isinstance(fix, InsertFlush):
+            key = ("flush", fix.store.iid)
+        elif isinstance(fix, InsertFlushAndFence):
+            key = ("flush+fence", fix.store.iid)
+        elif isinstance(fix, InsertFenceAfterFlush):
+            key = ("fence", fix.flush.iid)
+        elif isinstance(fix, InsertFenceAfterStore):
+            key = ("fence-nt", fix.store.iid)
+        else:
+            key = ("other", id(fix))
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = fix
+            order.append(key)
+        else:
+            existing.bugs.extend(fix.bugs)
+    # A flush+fence at a store subsumes a plain flush at the same store.
+    for key in list(merged):
+        kind, iid = key
+        if kind == "flush" and ("flush+fence", iid) in merged:
+            merged[("flush+fence", iid)].bugs.extend(merged[key].bugs)
+            del merged[key]
+            order.remove(key)
+    return [merged[key] for key in order]
+
+
+def _coalesce_fences(fixes: List[Fix]) -> List[Fix]:
+    """Keep one fence per (block, boundary) group of flush&fence fixes."""
+    groups: Dict[Tuple[int, int], List[InsertFlushAndFence]] = {}
+    for fix in fixes:
+        if not isinstance(fix, InsertFlushAndFence):
+            continue
+        block = fix.store.parent
+        boundary_iid = fix.bugs[0].boundary.iid if fix.bugs else -1
+        groups.setdefault((id(block), boundary_iid), []).append(fix)
+
+    result: List[Fix] = list(fixes)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        block: BasicBlock = group[0].store.parent  # type: ignore[assignment]
+        # The fix whose store appears last in the block keeps its fence;
+        # the rest become flush-only fixes.
+        group.sort(key=lambda f: block.index_of(f.store))
+        for fix in group[:-1]:
+            index = result.index(fix)
+            result[index] = InsertFlush(
+                bugs=fix.bugs, store=fix.store, flush_kind=fix.flush_kind
+            )
+    return result
+
+
+def reduce_fixes(fixes: List[Fix]) -> List[Fix]:
+    """Apply both reductions; hoisted fixes pass through untouched."""
+    plain = [f for f in fixes if not isinstance(f, HoistedFix)]
+    hoisted = [f for f in fixes if isinstance(f, HoistedFix)]
+    reduced = _coalesce_fences(_dedupe(plain))
+    return reduced + hoisted

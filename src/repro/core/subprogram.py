@@ -1,0 +1,225 @@
+"""The persistent subprogram transformation (paper §4.2.4).
+
+Given a call site chosen by the heuristic, this pass:
+
+1. clones the callee (and, recursively, every transitively-called
+   function that may store to PM) into ``<name>_PM`` variants;
+2. inserts a ``clwb`` flush after every may-PM store inside the clones
+   (the clone *reuses the subprogram's own semantics* — its address
+   arithmetic — to know exactly which cache lines to flush);
+3. retargets the call site to the clone and inserts a single ``sfence``
+   after it.
+
+Clones are cached and shared: if ``update_PM`` already exists because an
+earlier fix cloned ``modify``, a later fix that clones ``permute`` calls
+the existing ``update_PM`` rather than minting ``update_PM_2`` — this is
+the paper's code-bloat mitigation (§6.4: +0.013% IR on Redis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.aliasing import PMClassification
+from ..analysis.callgraph import CallGraph
+from ..errors import FixError
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Fence,
+    Flush,
+    Gep,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Trap,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+
+#: Suffix for persistent clones (the paper's ``modify_PM`` convention).
+PM_SUFFIX = "_PM"
+
+
+def clone_function(
+    fn: Function, new_name: str
+) -> Tuple[Function, Dict[Instruction, Instruction]]:
+    """Structurally clone a function; returns (clone, old->new map)."""
+    clone = Function(
+        new_name,
+        [(a.name, a.type) for a in fn.args],
+        fn.return_type,
+        fn.source_file,
+    )
+    clone.cloned_from = fn.name
+
+    value_map: Dict[Value, Value] = dict(zip(fn.args, clone.args))
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in fn.blocks:
+        block_map[block] = clone.add_block(block.name)
+
+    def mapped(value: Value) -> Value:
+        if isinstance(value, (Constant, GlobalVariable)):
+            return value
+        try:
+            return value_map[value]
+        except KeyError:
+            raise FixError(
+                f"clone of @{fn.name}: unmapped operand {value.short()}"
+            ) from None
+
+    instr_map: Dict[Instruction, Instruction] = {}
+    for block in fn.blocks:
+        new_block = block_map[block]
+        for instr in block:
+            new_instr = _clone_instruction(instr, mapped, block_map)
+            new_instr.loc = instr.loc
+            new_instr.name = instr.name
+            new_block.append(new_instr)
+            value_map[instr] = new_instr
+            instr_map[instr] = new_instr
+    return clone, instr_map
+
+
+def _clone_instruction(instr: Instruction, mapped, block_map) -> Instruction:
+    if isinstance(instr, Alloca):
+        return Alloca(instr.size)
+    if isinstance(instr, Load):
+        return Load(mapped(instr.pointer), instr.type)
+    if isinstance(instr, Store):
+        return Store(mapped(instr.value), mapped(instr.pointer), instr.nontemporal)
+    if isinstance(instr, Gep):
+        return Gep(mapped(instr.base), mapped(instr.offset))
+    if isinstance(instr, BinOp):
+        return BinOp(instr.op, mapped(instr.operands[0]), mapped(instr.operands[1]))
+    if isinstance(instr, ICmp):
+        return ICmp(instr.pred, mapped(instr.operands[0]), mapped(instr.operands[1]))
+    if isinstance(instr, Select):
+        return Select(
+            mapped(instr.operands[0]),
+            mapped(instr.operands[1]),
+            mapped(instr.operands[2]),
+        )
+    if isinstance(instr, Cast):
+        return Cast(instr.kind, mapped(instr.operands[0]), instr.type)
+    if isinstance(instr, Branch):
+        return Branch(
+            mapped(instr.cond), block_map[instr.then_block], block_map[instr.else_block]
+        )
+    if isinstance(instr, Jump):
+        return Jump(block_map[instr.target])
+    if isinstance(instr, Ret):
+        return Ret(None if instr.value is None else mapped(instr.value))
+    if isinstance(instr, Trap):
+        return Trap()
+    if isinstance(instr, Call):
+        return Call(instr.callee, [mapped(a) for a in instr.args], instr.type)
+    if isinstance(instr, Flush):
+        return Flush(mapped(instr.pointer), instr.kind)
+    if isinstance(instr, Fence):
+        return Fence(instr.kind)
+    raise FixError(f"cannot clone {instr!r}")  # pragma: no cover
+
+
+class SubprogramTransformer:
+    """Builds and caches persistent subprogram clones for one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        classifier: PMClassification,
+        callgraph: Optional[CallGraph] = None,
+    ):
+        self.module = module
+        self.classifier = classifier
+        self.callgraph = callgraph or CallGraph(module)
+        self.pm_functions = classifier.functions_with_pm_stores(self.callgraph)
+        #: original function name -> clone name (reuse cache)
+        self.clones: Dict[str, str] = {}
+        #: instructions inserted across all transformations
+        self.inserted: List[Instruction] = []
+        #: functions newly created
+        self.created: List[str] = []
+
+    # -- clone creation ---------------------------------------------------------
+
+    def persistent_clone(self, fn_name: str) -> str:
+        """Get or create the ``_PM`` clone of a function."""
+        if fn_name in self.clones:
+            return self.clones[fn_name]
+        fn = self.module.get_function(fn_name)
+        clone_name = self._fresh_name(fn_name)
+        # Register before processing the body so recursion terminates.
+        self.clones[fn_name] = clone_name
+        clone, instr_map = clone_function(fn, clone_name)
+        self.module.insert_function(clone)
+        self.created.append(clone_name)
+
+        # Insert flushes after every may-PM store, reusing the clone's
+        # own address computation (the store's pointer operand) and
+        # covering line-straddling stores.
+        from .fixes import insert_covering_flushes
+
+        for orig, copy in instr_map.items():
+            if isinstance(orig, Store) and self.classifier.store_may_be_pm(orig):
+                self.inserted.extend(insert_covering_flushes(copy, "clwb"))
+
+        # Retarget calls to PM-storing callees at their clones.
+        for orig, copy in instr_map.items():
+            if isinstance(copy, Call) and self._needs_clone(copy.callee):
+                copy.callee = self.persistent_clone(copy.callee)
+        return clone_name
+
+    def _needs_clone(self, callee: str) -> bool:
+        return callee in self.pm_functions and self.module.has_function(callee)
+
+    def _fresh_name(self, fn_name: str) -> str:
+        candidate = fn_name + PM_SUFFIX
+        counter = 1
+        while self.module.has_function(candidate):
+            counter += 1
+            candidate = f"{fn_name}{PM_SUFFIX}{counter}"
+        return candidate
+
+    # -- call-site transformation ----------------------------------------------------
+
+    def transform_call_site(self, call: Call) -> Tuple[str, Optional[Fence]]:
+        """Retarget a call site at its callee's persistent clone and
+        fence after it.
+
+        Idempotent: a call site already transformed (by an earlier bug
+        hoisted to the same place) is left alone.
+        """
+        if call.parent is None:
+            raise FixError(f"call #{call.iid} is detached")
+        already_clone = call.callee in self.clones.values()
+        if not already_clone:
+            if not self.module.has_function(call.callee):
+                raise FixError(
+                    f"cannot transform call to intrinsic @{call.callee}"
+                )
+            call.callee = self.persistent_clone(call.callee)
+
+        block = call.parent
+        index = block.index_of(call)
+        following = (
+            block.instructions[index + 1]
+            if index + 1 < len(block.instructions)
+            else None
+        )
+        if isinstance(following, Fence):
+            return call.callee, None  # fence already present
+        fence = Fence("sfence")
+        fence.loc = call.loc
+        block.insert_after(call, fence)
+        self.inserted.append(fence)
+        return call.callee, fence

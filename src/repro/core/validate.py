@@ -1,0 +1,62 @@
+"""Post-fix validation: the executable form of "do no harm".
+
+Two checks, mirroring the paper's §6.1 methodology ("we validate
+Hippocrates's fixes by re-running pmemcheck against the repaired
+programs"):
+
+- :func:`revalidate` re-runs the workload on the fixed module under the
+  bug finder and returns the (expected-empty) detection result.
+- :func:`do_no_harm` runs the same workload on the original and fixed
+  modules and compares observable behavior (return values and ``emit``
+  output).  Fixes only add memory orderings, so behavior must be
+  bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..detect import Driver, pmemcheck_run
+from ..detect.reports import DetectionResult
+from ..errors import ValidationError
+from ..interp.interpreter import Interpreter
+from ..ir.module import Module
+
+
+def revalidate(module: Module, driver: Driver) -> DetectionResult:
+    """Re-run the bug finder on a (fixed) module."""
+    detection, _, _ = pmemcheck_run(module, driver)
+    return detection
+
+
+def assert_fixed(module: Module, driver: Driver) -> None:
+    """Raise :class:`ValidationError` if any durability bug remains."""
+    detection = revalidate(module, driver)
+    if detection.bugs:
+        raise ValidationError(
+            "fixed module still has durability bugs:\n" + detection.summary()
+        )
+
+
+def observable_behavior(module: Module, driver: Driver) -> List[int]:
+    """Execute a workload and return its observable output."""
+    interp = Interpreter(module)
+    driver(interp)
+    interp.finish()
+    return list(interp.output)
+
+
+def do_no_harm(
+    original: Module, fixed: Module, driver: Driver
+) -> Tuple[List[int], List[int]]:
+    """Check behavioral equivalence of original and fixed modules.
+
+    Returns both outputs; raises :class:`ValidationError` on mismatch.
+    """
+    before = observable_behavior(original, driver)
+    after = observable_behavior(fixed, driver)
+    if before != after:
+        raise ValidationError(
+            f"fix changed observable behavior: {before[:8]}... vs {after[:8]}..."
+        )
+    return before, after

@@ -1,0 +1,174 @@
+"""The durability checker: a pmemcheck-style PM bug finder.
+
+Replays a PM trace through the cache-line durability state machine and,
+at every durability boundary (``checkpoint`` calls and process exit),
+reports stores whose durability obligation is unmet:
+
+- store never flushed, no later fence either -> *missing-flush&fence*
+- store never flushed, but a fence occurs before the boundary (so an
+  inserted flush would be ordered) -> *missing-flush*
+- store flushed with a weakly-ordered flush that no fence drains before
+  the boundary -> *missing-fence*
+
+Redundant flushes of clean lines are reported separately as performance
+diagnostics (never fixed; paper §7).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..memory.layout import lines_covering
+from ..trace.events import (
+    BoundaryEvent,
+    FenceEvent,
+    FlushEvent,
+    StoreEvent,
+)
+from ..trace.trace import PMTrace
+from .reports import BugKind, BugReport, DetectionResult, PerfReport
+
+#: (store event, flush event or None) pending on a line
+_Pending = Tuple[StoreEvent, Optional[FlushEvent]]
+
+#: A boundary policy maps a boundary event to either None (skip), the
+#: string "all" (check every pending store), or an address range
+#: ``(lo, hi)`` restricting the check.
+BoundaryPolicy = Callable[[BoundaryEvent], Optional[object]]
+
+
+def _pmemcheck_policy(boundary: BoundaryEvent) -> Optional[object]:
+    """pmemcheck checks everything at every boundary except PMTest tags."""
+    if boundary.label.startswith("pmtest:"):
+        return None
+    return "all"
+
+
+def _pmtest_policy(boundary: BoundaryEvent) -> Optional[object]:
+    """PMTest checks only its own assertions, each over a range."""
+    if not boundary.label.startswith("pmtest:"):
+        return None
+    _, addr_text, size_text = boundary.label.split(":")
+    lo = int(addr_text, 16)
+    return (lo, lo + int(size_text))
+
+
+class DurabilityChecker:
+    """Offline trace analysis (the detector half of Fig. 2's pipeline)."""
+
+    def __init__(self, boundary_policy: BoundaryPolicy = _pmemcheck_policy):
+        self.boundary_policy = boundary_policy
+
+    def check(self, trace: PMTrace) -> DetectionResult:
+        dirty: Dict[int, List[StoreEvent]] = {}
+        flushing: Dict[int, List[_Pending]] = {}
+        fence_seqs: List[int] = []
+        result = DetectionResult()
+        # One report per (store instruction, bug kind, *call path*).
+        # The call path matters: the same store inside a shared helper
+        # like memcpy reached through different call sites is a
+        # distinct bug with a distinct (hoisted) fix location.
+        reports: Dict[Tuple[int, BugKind, Tuple[int, ...]], BugReport] = {}
+        attributed_seqs: set = set()
+        perf: Dict[int, PerfReport] = {}
+
+        def report(
+            kind: BugKind,
+            store: StoreEvent,
+            boundary: BoundaryEvent,
+            flush: Optional[FlushEvent],
+        ) -> None:
+            if store.seq in attributed_seqs:
+                return
+            attributed_seqs.add(store.seq)
+            path = tuple(frame.iid for frame in store.caller_frames)
+            key = (store.iid, kind, path)
+            existing = reports.get(key)
+            if existing is None:
+                reports[key] = BugReport(
+                    kind=kind,
+                    store=store,
+                    boundary=boundary,
+                    flush=flush,
+                    report_id=len(reports) + 1,
+                )
+            else:
+                existing.occurrences += 1
+
+        for event in trace:
+            if isinstance(event, StoreEvent):
+                if event.space != "pm":
+                    continue
+                for line_addr in lines_covering(event.addr, event.size):
+                    if event.nontemporal:
+                        # MOVNT: already write-combining-queued; it
+                        # needs no flush, only an ordering fence.
+                        flushing.setdefault(line_addr, []).append((event, None))
+                    else:
+                        dirty.setdefault(line_addr, []).append(event)
+            elif isinstance(event, FlushEvent):
+                line_addr = event.line_addr
+                if not event.had_work:
+                    note = perf.get(event.iid)
+                    if note is None:
+                        perf[event.iid] = PerfReport(event)
+                    else:
+                        note.occurrences += 1
+                pending = dirty.pop(line_addr, [])
+                if event.flush_kind == "clflush":
+                    # Strongly ordered: line durable immediately.
+                    flushing.pop(line_addr, None)
+                else:
+                    if pending:
+                        flushing.setdefault(line_addr, []).extend(
+                            (store, event) for store in pending
+                        )
+            elif isinstance(event, FenceEvent):
+                fence_seqs.append(event.seq)
+                flushing.clear()
+            elif isinstance(event, BoundaryEvent):
+                scope = self.boundary_policy(event)
+                if scope is None:
+                    continue
+
+                def in_scope(store: StoreEvent) -> bool:
+                    if scope == "all":
+                        return True
+                    lo, hi = scope  # type: ignore[misc]
+                    return store.addr < hi and store.addr + store.size > lo
+
+                for stores in dirty.values():
+                    for store in stores:
+                        if not in_scope(store):
+                            continue
+                        fence_after = (
+                            bisect.bisect_right(fence_seqs, store.seq)
+                            < len(fence_seqs)
+                        )
+                        kind = (
+                            BugKind.MISSING_FLUSH
+                            if fence_after
+                            else BugKind.MISSING_FLUSH_FENCE
+                        )
+                        report(kind, store, event, None)
+                for pairs in flushing.values():
+                    for store, flush in pairs:
+                        if in_scope(store):
+                            report(BugKind.MISSING_FENCE, store, event, flush)
+
+        result.bugs = sorted(
+            reports.values(), key=lambda b: (b.store.seq, b.kind.value)
+        )
+        result.perf = sorted(perf.values(), key=lambda p: p.flush.seq)
+        return result
+
+
+def check_trace(trace: PMTrace) -> DetectionResult:
+    """Run the pmemcheck-style checker over a trace."""
+    return DurabilityChecker().check(trace)
+
+
+def check_trace_pmtest(trace: PMTrace) -> DetectionResult:
+    """Run the PMTest-style assertion checker over a trace."""
+    return DurabilityChecker(_pmtest_policy).check(trace)

@@ -1,0 +1,20 @@
+"""IR execution: interpreter, machine state, cost model, intrinsics."""
+
+from .costs import CostCounter, CostModel
+from .frame import Frame
+from .interpreter import Allocation, ExecutionResult, Interpreter, Machine, run_module
+from .intrinsics import SimulatedCrash, intrinsic_names, is_intrinsic
+
+__all__ = [
+    "Allocation",
+    "CostCounter",
+    "CostModel",
+    "ExecutionResult",
+    "Frame",
+    "Interpreter",
+    "intrinsic_names",
+    "is_intrinsic",
+    "Machine",
+    "run_module",
+    "SimulatedCrash",
+]

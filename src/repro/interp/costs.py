@@ -1,0 +1,98 @@
+"""Cycle-cost model for executed IR.
+
+The paper's performance results (Fig. 4) depend on one ratio: ordinary
+volatile work is cheap, while cache-line flushes and memory fences are
+expensive — *and a flush costs the same whether the line holds PM or
+volatile data*.  That is precisely why intraprocedural fixes inside a
+shared helper like ``memcpy`` are disastrous (every volatile invocation
+pays flush costs) and why the hoisting heuristic exists.
+
+The default latencies are drawn from published Optane/x86 measurements
+(CLWB ~ tens of ns, SFENCE drains the write-pending queue) scaled to
+abstract cycles; the *shape* of results is insensitive to the exact
+values, which benchmarks can override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CostModel:
+    """Abstract cycle costs per executed operation."""
+
+    load: int = 1
+    store: int = 1
+    arith: int = 1
+    compare: int = 1
+    branch: int = 1
+    call: int = 3
+    ret: int = 1
+    alloca: int = 1
+    gep: int = 1
+    select: int = 1
+    cast: int = 1
+    intrinsic: int = 3
+    #: A flush of a dirty line (PM write-back) or of any volatile line
+    #: (DRAM write-back): paid regardless of the target's region.
+    flush: int = 60
+    #: A flush of an already-clean or already-queued PM line: CLWB hits
+    #: the cache / write-pending queue and schedules no new write-back
+    #: (a few cycles on real hardware).
+    flush_clean: int = 2
+    #: A store fence's base cost; the per-pending-line drain cost is
+    #: added on top (an SFENCE with an empty WPQ is nearly free).
+    fence: int = 20
+    #: Added per cache line drained by a fence (write-pending-queue cost).
+    fence_per_line: int = 12
+    #: PM store premium over a DRAM store (Optane write latency).
+    pm_store_extra: int = 3
+    #: Extra cost of a clflush write-back: the instruction serializes
+    #: against later accesses to the line instead of queueing in the
+    #: WPQ, so it cannot overlap (why clwb+fence is preferred).
+    clflush_serial: int = 25
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "load": self.load,
+            "store": self.store,
+            "arith": self.arith,
+            "compare": self.compare,
+            "branch": self.branch,
+            "call": self.call,
+            "ret": self.ret,
+            "alloca": self.alloca,
+            "gep": self.gep,
+            "select": self.select,
+            "cast": self.cast,
+            "intrinsic": self.intrinsic,
+            "flush": self.flush,
+            "flush_clean": self.flush_clean,
+            "clflush_serial": self.clflush_serial,
+            "fence": self.fence,
+            "fence_per_line": self.fence_per_line,
+            "pm_store_extra": self.pm_store_extra,
+        }
+
+
+@dataclass
+class CostCounter:
+    """Accumulates cost and operation counts during a run."""
+
+    model: CostModel = field(default_factory=CostModel)
+    cycles: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, kind: str, amount: int) -> None:
+        self.cycles += amount
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def charge_extra(self, amount: int) -> None:
+        self.cycles += amount
+
+    def summary(self) -> Dict[str, int]:
+        summary = dict(self.counts)
+        summary["cycles"] = self.cycles
+        return summary

@@ -1,0 +1,41 @@
+"""Call frames for the IR interpreter."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+
+
+class Frame:
+    """One activation of an IR function.
+
+    :ivar values: runtime value of every argument and instruction result
+        defined so far (all values are Python ints).
+    :ivar current: the instruction currently executing; for caller
+        frames this remains the call instruction, which is exactly what
+        a stack trace needs.
+    :ivar stack_mark: the stack region watermark at entry, restored on
+        return (releases this frame's allocas).
+    """
+
+    __slots__ = ("function", "block", "index", "values", "current", "stack_mark")
+
+    def __init__(self, function: Function, stack_mark: int):
+        self.function = function
+        self.block: BasicBlock = function.entry
+        self.index = 0
+        self.values: Dict[Value, int] = {}
+        self.current: Optional[Instruction] = None
+        self.stack_mark = stack_mark
+
+    def jump_to(self, block: BasicBlock) -> None:
+        self.block = block
+        self.index = 0
+
+    def __repr__(self) -> str:
+        at = self.current.iid if self.current is not None else "?"
+        return f"<Frame @{self.function.name} at #{at}>"

@@ -1,0 +1,181 @@
+"""Interpreter intrinsics: the "system interface" of IR programs.
+
+Functions called by name that are not defined in the module resolve
+here.  The set intentionally mirrors what a PM application links
+against: a PM-aware allocator (``pm_alloc``/``pm_root``, modelling a
+pmemobj pool), a volatile allocator, durability boundaries
+(``checkpoint``, the instruction *I* of the paper's formalism),
+observable output (``emit``), and a crash trigger for the
+crash-consistency demonstrations.
+
+Notably absent: ``memcpy``/``memset``-style helpers.  Those are defined
+*in IR* (:mod:`repro.apps.stdlib`) precisely because Hippocrates must be
+able to analyze and transform them — the paper's central example is the
+``memcpy`` that must not be fixed intraprocedurally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from ..errors import InterpreterError, TrapError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+
+class SimulatedCrash(Exception):
+    """Raised by the ``crash_now`` intrinsic: the process dies here.
+
+    The machine (and its durable PM image) survives on the interpreter,
+    so tests can inspect what a post-crash recovery would observe.
+    """
+
+
+IntrinsicFn = Callable[["Interpreter", List[int]], int]
+
+_REGISTRY: Dict[str, IntrinsicFn] = {}
+
+
+def intrinsic(name: str) -> Callable[[IntrinsicFn], IntrinsicFn]:
+    def register(fn: IntrinsicFn) -> IntrinsicFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def lookup(name: str) -> IntrinsicFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InterpreterError(f"call to undefined function @{name}") from None
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def intrinsic_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Allocation
+# ---------------------------------------------------------------------------
+
+
+@intrinsic("pm_alloc")
+def _pm_alloc(interp: "Interpreter", args: List[int]) -> int:
+    """Allocate persistent memory; returns the PM address."""
+    (size,) = args
+    addr = interp.machine.space.alloc_pm(size)
+    interp.machine.register_allocation(addr, size, f"call:{interp.current_iid()}")
+    return addr
+
+
+@intrinsic("vol_alloc")
+def _vol_alloc(interp: "Interpreter", args: List[int]) -> int:
+    """Allocate volatile heap memory."""
+    (size,) = args
+    addr = interp.machine.space.alloc_vol(size)
+    interp.machine.register_allocation(addr, size, f"call:{interp.current_iid()}")
+    return addr
+
+
+@intrinsic("pm_root")
+def _pm_root(interp: "Interpreter", args: List[int]) -> int:
+    """Return the pool's root object, allocating it on first use.
+
+    Models ``pmemobj_root``: a stable, named entry point into the pool
+    that recovery code can find again after a crash.
+    """
+    (size,) = args
+    machine = interp.machine
+    if machine.pm_root_addr is None:
+        machine.pm_root_addr = machine.space.alloc_pm(size, align=64)
+        machine.pm_root_size = size
+        machine.register_allocation(machine.pm_root_addr, size, "pm_root")
+    elif size > machine.pm_root_size:
+        raise InterpreterError(
+            f"pm_root re-requested with larger size {size} > {machine.pm_root_size}"
+        )
+    return machine.pm_root_addr
+
+
+# ---------------------------------------------------------------------------
+# Durability boundaries and observability
+# ---------------------------------------------------------------------------
+
+
+@intrinsic("checkpoint")
+def _checkpoint(interp: "Interpreter", args: List[int]) -> int:
+    """A durability boundary: all prior PM updates must be durable here.
+
+    Models replying to a client, committing a transaction, or any other
+    externally visible promise of durability.
+    """
+    label = f"ckpt{args[0]}" if args else "ckpt"
+    interp.machine.recorder.record_boundary(label)
+    return 0
+
+
+@intrinsic("emit")
+def _emit(interp: "Interpreter", args: List[int]) -> int:
+    """Append a value to the observable output of the execution."""
+    interp.output.extend(args)
+    return 0
+
+
+@intrinsic("crash_now")
+def _crash_now(interp: "Interpreter", args: List[int]) -> int:
+    """Kill the process immediately (power failure)."""
+    interp.machine.recorder.record_boundary("crash")
+    raise SimulatedCrash()
+
+
+@intrinsic("require")
+def _require(interp: "Interpreter", args: List[int]) -> int:
+    """Assertion: trap if the condition is zero."""
+    (cond,) = args
+    if not cond:
+        raise TrapError(f"require() failed at #{interp.current_iid()}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# PMTest-style testing assertions (consumed by repro.detect.pmtest)
+# ---------------------------------------------------------------------------
+
+
+@intrinsic("pmtest_assert_persisted")
+def _pmtest_assert_persisted(interp: "Interpreter", args: List[int]) -> int:
+    """Declare that ``[addr, addr+size)`` must be durable at this point.
+
+    The intrinsic itself only records a boundary tagged for the PMTest
+    checker; the verdict is computed by :mod:`repro.detect.pmtest`.
+    """
+    addr, size = args
+    interp.machine.recorder.record_boundary(f"pmtest:{addr:#x}:{size}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Small host helpers
+# ---------------------------------------------------------------------------
+
+
+@intrinsic("fnv1a64")
+def _fnv1a64(interp: "Interpreter", args: List[int]) -> int:
+    """FNV-1a hash of a byte range (host-accelerated for speed).
+
+    Hashing shows up on every key-value operation; computing it in the
+    host keeps interpreted instruction counts proportional to the
+    interesting work (stores/flushes/fences).
+    """
+    addr, size = args
+    data = interp.machine.space.read_bytes(addr, size)
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,119 @@
+"""The reproduction IR: a small LLVM-like intermediate representation.
+
+This package provides the program representation every other subsystem
+works on: the bug-finding tools trace executions of IR programs, and
+Hippocrates repairs durability bugs by rewriting IR (inserting flushes
+and fences, cloning subprograms).
+
+Public API re-exported here:
+
+- types: :data:`I1`/:data:`I8`/:data:`I16`/:data:`I32`/:data:`I64`/:data:`PTR`/:data:`VOID`
+- values: :class:`Constant`, :class:`Argument`, :class:`GlobalVariable`
+- instructions: :class:`Store`, :class:`Load`, :class:`Flush`, :class:`Fence`, ...
+- structure: :class:`BasicBlock`, :class:`Function`, :class:`Module`
+- construction: :class:`IRBuilder`, :class:`ModuleBuilder`
+- text: :func:`format_module`, :func:`parse_module`
+- checking: :func:`verify_module`, :func:`verify_function`
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder, ModuleBuilder
+from .debuginfo import DebugLoc, LineAllocator, SYNTHETIC
+from .function import Function
+from .instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    FENCE_KINDS,
+    FLUSH_KINDS,
+    Fence,
+    Flush,
+    Gep,
+    ICMP_PREDS,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Trap,
+    const,
+)
+from .module import Module
+from .parser import parse_module
+from .printer import format_function, format_instruction, format_module
+from .types import (
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PTR,
+    PointerType,
+    Type,
+    VOID,
+    VoidType,
+    type_from_name,
+)
+from .values import Argument, Constant, GlobalVariable, NULL, Value
+from .verifier import verify_function, verify_module
+
+__all__ = [
+    "Alloca",
+    "Argument",
+    "BasicBlock",
+    "BinOp",
+    "BINARY_OPS",
+    "Branch",
+    "Call",
+    "Cast",
+    "Constant",
+    "DebugLoc",
+    "Fence",
+    "FENCE_KINDS",
+    "Flush",
+    "FLUSH_KINDS",
+    "Function",
+    "Gep",
+    "GlobalVariable",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "ICmp",
+    "ICMP_PREDS",
+    "Instruction",
+    "IntType",
+    "IRBuilder",
+    "Jump",
+    "LineAllocator",
+    "Load",
+    "Module",
+    "ModuleBuilder",
+    "NULL",
+    "PointerType",
+    "PTR",
+    "Ret",
+    "Select",
+    "Store",
+    "SYNTHETIC",
+    "Trap",
+    "Type",
+    "type_from_name",
+    "Value",
+    "VoidType",
+    "VOID",
+    "const",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,244 @@
+"""IRBuilder: the fluent construction API for writing programs in the IR.
+
+Every application in :mod:`repro.apps` — the mini-PMDK, the Redis-like
+key-value store, P-CLHT, and the memcached-like cache — is written
+against this builder.  It mirrors LLVM's ``IRBuilder``: it tracks an
+insertion point (a basic block) and emits one instruction per call,
+assigning fresh value names and debug locations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Union
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .debuginfo import DebugLoc, LineAllocator
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Fence,
+    Flush,
+    Gep,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Trap,
+)
+from .module import Module
+from .types import I64, Type, VOID
+from .values import Constant, Value
+
+#: Operand values may be given as plain ints; they are wrapped as i64
+#: constants (or as constants of an explicitly provided type).
+Operand = Union[Value, int]
+
+
+class IRBuilder:
+    """Builds instructions into a current basic block.
+
+    :param function: the function being built.
+    :param lines: optional shared :class:`LineAllocator`; by default a
+        fresh allocator per function source file is used, so each emitted
+        instruction gets its own pseudo source line.
+    """
+
+    def __init__(self, function: Function, lines: Optional[LineAllocator] = None):
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+        self.lines = lines or LineAllocator(function.source_file)
+        self._name_counter = itertools.count()
+        self._explicit_loc: Optional[DebugLoc] = None
+
+    # -- positioning -------------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    def new_block(self, name: str = "") -> BasicBlock:
+        return self.function.add_block(name)
+
+    def at_new_block(self, name: str = "") -> BasicBlock:
+        """Create a block and position the builder at its end."""
+        block = self.new_block(name)
+        self.position_at_end(block)
+        return block
+
+    # -- debug locations ----------------------------------------------------------
+
+    def set_loc(self, loc: Optional[DebugLoc]) -> None:
+        """Pin subsequent instructions to an explicit location.
+
+        Pass ``None`` to return to automatic per-instruction lines.
+        """
+        self._explicit_loc = loc
+
+    def _next_loc(self) -> DebugLoc:
+        if self._explicit_loc is not None:
+            return self._explicit_loc
+        return self.lines.next()
+
+    # -- emission helpers -----------------------------------------------------------
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        instr.loc = self._next_loc()
+        if not instr.type.is_void and not instr.name:
+            instr.name = f"t{next(self._name_counter)}"
+        self.block.append(instr)
+        return instr
+
+    @staticmethod
+    def _value(operand: Operand, type_: Type = I64) -> Value:
+        if isinstance(operand, int):
+            return Constant(operand, type_)
+        return operand
+
+    # -- memory ------------------------------------------------------------------------
+
+    def alloca(self, size: int, name: str = "") -> Alloca:
+        return self._emit(Alloca(size, name))  # type: ignore[return-value]
+
+    def load(self, ptr: Value, type_: Type = I64, name: str = "") -> Load:
+        return self._emit(Load(ptr, type_, name))  # type: ignore[return-value]
+
+    def store(
+        self, value: Operand, ptr: Value, type_: Type = I64, nontemporal: bool = False
+    ) -> Store:
+        return self._emit(
+            Store(self._value(value, type_), ptr, nontemporal)
+        )  # type: ignore[return-value]
+
+    def gep(self, base: Value, offset: Operand, name: str = "") -> Gep:
+        return self._emit(Gep(base, self._value(offset), name))  # type: ignore[return-value]
+
+    # -- arithmetic -----------------------------------------------------------------------
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        lhs_v = self._value(lhs)
+        rhs_v = self._value(rhs, lhs_v.type)
+        return self._emit(BinOp(op, lhs_v, rhs_v, name))  # type: ignore[return-value]
+
+    def add(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("mul", lhs, rhs, name)
+
+    def udiv(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("udiv", lhs, rhs, name)
+
+    def urem(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("urem", lhs, rhs, name)
+
+    def and_(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs: Operand, rhs: Operand, name: str = "") -> BinOp:
+        return self.binop("lshr", lhs, rhs, name)
+
+    def icmp(self, pred: str, lhs: Operand, rhs: Operand, name: str = "") -> ICmp:
+        lhs_v = self._value(lhs)
+        rhs_v = self._value(rhs, lhs_v.type)
+        return self._emit(ICmp(pred, lhs_v, rhs_v, name))  # type: ignore[return-value]
+
+    def select(self, cond: Value, a: Operand, b: Operand, name: str = "") -> Select:
+        a_v = self._value(a)
+        b_v = self._value(b, a_v.type)
+        return self._emit(Select(cond, a_v, b_v, name))  # type: ignore[return-value]
+
+    def cast(self, kind: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        return self._emit(Cast(kind, value, to_type, name))  # type: ignore[return-value]
+
+    # -- control flow ------------------------------------------------------------------------
+
+    def br(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> Branch:
+        return self._emit(Branch(cond, then_block, else_block))  # type: ignore[return-value]
+
+    def jmp(self, target: BasicBlock) -> Jump:
+        return self._emit(Jump(target))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Operand] = None) -> Ret:
+        value_v = None if value is None else self._value(value, self.function.return_type)
+        return self._emit(Ret(value_v))  # type: ignore[return-value]
+
+    def trap(self) -> Trap:
+        return self._emit(Trap())  # type: ignore[return-value]
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Operand] = (),
+        type_: Type = VOID,
+        name: str = "",
+    ) -> Call:
+        arg_values = [self._value(a) for a in args]
+        return self._emit(Call(callee, arg_values, type_, name))  # type: ignore[return-value]
+
+    # -- persistence ----------------------------------------------------------------------------
+
+    def flush(self, ptr: Value, kind: str = "clwb") -> Flush:
+        return self._emit(Flush(ptr, kind))  # type: ignore[return-value]
+
+    def fence(self, kind: str = "sfence") -> Fence:
+        return self._emit(Fence(kind))  # type: ignore[return-value]
+
+
+class ModuleBuilder:
+    """Convenience wrapper that builds a whole module function by function.
+
+    Keeps one :class:`LineAllocator` per pseudo source file so that
+    multiple functions written against the same "file" get disjoint,
+    increasing line ranges — matching how a real multi-function C file
+    maps onto lines.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.module = Module(name)
+        self._allocators: Dict[str, LineAllocator] = {}
+
+    def _allocator(self, source_file: str) -> LineAllocator:
+        if source_file not in self._allocators:
+            self._allocators[source_file] = LineAllocator(source_file)
+        return self._allocators[source_file]
+
+    def function(
+        self,
+        name: str,
+        params: Sequence = (),
+        return_type: Type = VOID,
+        source_file: str = "",
+    ) -> IRBuilder:
+        """Declare a function and return a builder positioned at its entry."""
+        fn = self.module.add_function(name, params, return_type, source_file)
+        builder = IRBuilder(fn, self._allocator(fn.source_file))
+        builder.at_new_block("entry")
+        return builder
+
+    def global_(
+        self, name: str, size: int, space: str = "vol", initializer: bytes = None
+    ):
+        return self.module.add_global(name, size, space, initializer)

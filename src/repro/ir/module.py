@@ -1,0 +1,108 @@
+"""Modules: the unit of analysis, transformation, and execution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from .function import Function
+from .instructions import Instruction
+from .types import Type, VOID
+from .values import GlobalVariable
+
+
+class Module:
+    """A collection of functions and globals — a whole program.
+
+    Hippocrates operates on whole-program IR ("whole-program LLVM" in
+    the paper); all of its passes take a :class:`Module`.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+        source_file: str = "",
+    ) -> Function:
+        if name in self.functions:
+            raise IRError(f"duplicate function {name!r}")
+        fn = Function(name, params, return_type, source_file or f"{self.name}.c")
+        fn.parent = self
+        self.functions[name] = fn
+        return fn
+
+    def insert_function(self, fn: Function) -> Function:
+        """Insert an already-built function (used by cloning)."""
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        fn.parent = self
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(
+        self,
+        name: str,
+        size: int,
+        space: str = "vol",
+        initializer: Optional[bytes] = None,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        gv = GlobalVariable(name, size, space, initializer)
+        self.globals[name] = gv
+        return gv
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r} in module {self.name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"no global {name!r} in module {self.name!r}") from None
+
+    def find_instruction(self, iid: int) -> Optional[Instruction]:
+        for fn in self.functions.values():
+            instr = fn.find_instruction(iid)
+            if instr is not None:
+                return instr
+        return None
+
+    # -- metrics --------------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for fn in self.functions.values():
+            yield from fn.instructions()
+
+    def instruction_count(self) -> int:
+        """Total instruction count — the module's "lines of IR".
+
+        Used for the code-bloat measurements (paper §6.4) and the KLOC
+        column of the offline-overhead table (Fig 5).
+        """
+        return sum(fn.instruction_count() for fn in self.functions.values())
+
+    def function_names(self) -> List[str]:
+        return sorted(self.functions)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name!r}: {len(self.functions)} functions, "
+            f"{self.instruction_count()} instructions>"
+        )

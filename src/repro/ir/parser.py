@@ -1,0 +1,299 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`.
+
+The parser is line-oriented: every instruction occupies one line, block
+labels end with ``:``, and functions are delimited by ``func ... {`` /
+``}``.  Forward references to blocks are resolved with a fixup pass;
+forward references to values are an error (the IR requires definition
+before use in textual order, which the builder guarantees).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IRParseError
+from .basicblock import BasicBlock
+from .debuginfo import DebugLoc
+from .function import Function
+from .instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Fence,
+    Flush,
+    Gep,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Trap,
+)
+from .module import Module
+from .types import Type, VOID, type_from_name
+from .values import Constant, Value
+
+_MODULE_RE = re.compile(r'^module\s+"([^"]+)"$')
+_GLOBAL_RE = re.compile(
+    r"^global\s+@(\w[\w.]*)\s+(\d+)\s+(pm|vol)(?:\s+init\s+([0-9a-fA-F]+))?$"
+)
+_FUNC_RE = re.compile(r"^func\s+@([\w.$]+)\((.*)\)\s*->\s*(\w+)\s*(\{)?$")
+_PARAM_RE = re.compile(r"^%(\w[\w.]*)\s*:\s*(\w+)$")
+_LABEL_RE = re.compile(r"^([\w.]+):$")
+_LOC_RE = re.compile(r"\s+!([^\s!]+:\d+)\s*$")
+_CALL_RE = re.compile(r"^call\s+(\w+)\s+@([\w.$]+)\((.*)\)$")
+
+
+class _FunctionParser:
+    """Parses the body of a single function."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.values: Dict[str, Value] = {a.name: a for a in fn.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.current: Optional[BasicBlock] = None
+        # (branch-instr, attr-name, label) fixups for forward block refs
+        self.fixups: List[Tuple[Instruction, str, str]] = []
+
+    def block(self, label: str) -> BasicBlock:
+        if label not in self.blocks:
+            block = BasicBlock(label, self.fn)
+            self.blocks[label] = block
+            self.fn.blocks.append(block)
+        return self.blocks[label]
+
+    def _placeholder_block(self, label: str) -> BasicBlock:
+        """Return the block if it exists, else a placeholder resolved later."""
+        return self.blocks.get(label) or self.block(label)
+
+    def value(self, text: str, type_: Type, lineno: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name not in self.values:
+                raise IRParseError(f"use of undefined value %{name}", lineno)
+            return self.values[name]
+        if text.startswith("@"):
+            module = self.fn.parent
+            if module is None or text[1:] not in module.globals:
+                raise IRParseError(f"unknown global {text}", lineno)
+            return module.globals[text[1:]]
+        try:
+            literal = int(text, 0)
+        except ValueError:
+            raise IRParseError(f"bad operand {text!r}", lineno) from None
+        return Constant(literal, type_)
+
+    def typed_value(self, text: str, lineno: int) -> Value:
+        """Parse ``<type> <operand>``."""
+        parts = text.strip().split(None, 1)
+        if len(parts) != 2:
+            raise IRParseError(f"expected 'type value', got {text!r}", lineno)
+        return self.value(parts[1], type_from_name(parts[0]), lineno)
+
+    def define(self, name: str, value: Value, lineno: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}", lineno)
+        value.name = name
+        self.values[name] = value
+
+    # -- instruction parsing ---------------------------------------------------
+
+    def parse_line(self, line: str, lineno: int) -> None:
+        loc: Optional[DebugLoc] = None
+        loc_match = _LOC_RE.search(line)
+        if loc_match:
+            loc = DebugLoc.parse(loc_match.group(1))
+            line = line[: loc_match.start()].rstrip()
+
+        label = _LABEL_RE.match(line)
+        if label:
+            self.current = self.block(label.group(1))
+            return
+        if self.current is None:
+            raise IRParseError("instruction outside any block", lineno)
+
+        result_name = None
+        if line.startswith("%"):
+            result_name, _, rest = line.partition("=")
+            result_name = result_name.strip()[1:]
+            line = rest.strip()
+
+        instr = self._parse_instruction(line, lineno)
+        if loc is not None:
+            instr.loc = loc
+        if result_name is not None:
+            if instr.type.is_void:
+                raise IRParseError("void instruction cannot define a value", lineno)
+            self.define(result_name, instr, lineno)
+        self.current.append(instr)
+
+    def _parse_instruction(self, line: str, lineno: int) -> Instruction:
+        op, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if op == "alloca":
+            return Alloca(int(rest))
+        if op == "load":
+            type_text, _, ptr_text = rest.partition(",")
+            return Load(
+                self.value(ptr_text, type_from_name("ptr"), lineno),
+                type_from_name(type_text.strip()),
+            )
+        if op in ("store", "store.nt"):
+            value_text, _, ptr_text = rest.partition(",")
+            value = self.typed_value(value_text, lineno)
+            return Store(
+                value,
+                self.value(ptr_text, type_from_name("ptr"), lineno),
+                nontemporal=(op == "store.nt"),
+            )
+        if op == "gep":
+            base_text, _, off_text = rest.partition(",")
+            base = self.value(base_text, type_from_name("ptr"), lineno)
+            return Gep(base, self.typed_value(off_text, lineno))
+        if op in BINARY_OPS:
+            type_text, _, operands = rest.partition(" ")
+            lhs_text, _, rhs_text = operands.partition(",")
+            type_ = type_from_name(type_text)
+            return BinOp(
+                op,
+                self.value(lhs_text, type_, lineno),
+                self.value(rhs_text, type_, lineno),
+            )
+        if op == "icmp":
+            pred, _, rest2 = rest.partition(" ")
+            type_text, _, operands = rest2.strip().partition(" ")
+            lhs_text, _, rhs_text = operands.partition(",")
+            type_ = type_from_name(type_text)
+            return ICmp(
+                pred,
+                self.value(lhs_text, type_, lineno),
+                self.value(rhs_text, type_, lineno),
+            )
+        if op == "select":
+            cond_text, _, rest2 = rest.partition(",")
+            cond = self.value(cond_text, type_from_name("i1"), lineno)
+            arm_text = rest2.strip()
+            type_text, _, arms = arm_text.partition(" ")
+            a_text, _, b_text = arms.partition(",")
+            type_ = type_from_name(type_text)
+            return Select(
+                cond,
+                self.value(a_text, type_, lineno),
+                self.value(b_text, type_, lineno),
+            )
+        if op == "cast":
+            match = re.match(r"^(\w+)\s+(\w+)\s+(\S+)\s+to\s+(\w+)$", rest)
+            if not match:
+                raise IRParseError(f"bad cast: {rest!r}", lineno)
+            kind, from_type, value_text, to_type = match.groups()
+            return Cast(
+                kind,
+                self.value(value_text, type_from_name(from_type), lineno),
+                type_from_name(to_type),
+            )
+        if op == "br":
+            cond_text, _, targets = rest.partition(",")
+            then_text, _, else_text = targets.partition(",")
+            cond = self.value(cond_text, type_from_name("i1"), lineno)
+            instr = Branch(
+                cond,
+                self._placeholder_block(then_text.strip().lstrip("%")),
+                self._placeholder_block(else_text.strip().lstrip("%")),
+            )
+            return instr
+        if op == "jmp":
+            return Jump(self._placeholder_block(rest.strip().lstrip("%")))
+        if op == "ret" or line == "ret":
+            if not rest:
+                return Ret()
+            return Ret(self.typed_value(rest, lineno))
+        if line == "trap":
+            return Trap()
+        if op == "call":
+            match = _CALL_RE.match(line)
+            if not match:
+                raise IRParseError(f"bad call: {line!r}", lineno)
+            ret_type, callee, args_text = match.groups()
+            args = []
+            if args_text.strip():
+                depth = 0
+                current: List[str] = []
+                pieces: List[str] = []
+                for ch in args_text:
+                    if ch == "," and depth == 0:
+                        pieces.append("".join(current))
+                        current = []
+                    else:
+                        if ch == "(":
+                            depth += 1
+                        elif ch == ")":
+                            depth -= 1
+                        current.append(ch)
+                pieces.append("".join(current))
+                args = [self.typed_value(p, lineno) for p in pieces]
+            return Call(callee, args, type_from_name(ret_type))
+        if op == "flush":
+            kind, _, ptr_text = rest.partition(",")
+            return Flush(
+                self.value(ptr_text, type_from_name("ptr"), lineno), kind.strip()
+            )
+        if op == "fence":
+            return Fence(rest.strip())
+        raise IRParseError(f"unknown instruction: {line!r}", lineno)
+
+
+def parse_module(text: str) -> Module:
+    """Parse a textual module (the inverse of ``format_module``)."""
+    module = Module()
+    fn_parser: Optional[_FunctionParser] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip() if raw.lstrip().startswith(";") else raw.strip()
+        if not line:
+            continue
+
+        if fn_parser is not None:
+            if line == "}":
+                fn_parser = None
+                continue
+            fn_parser.parse_line(line, lineno)
+            continue
+
+        module_match = _MODULE_RE.match(line)
+        if module_match:
+            module.name = module_match.group(1)
+            continue
+        global_match = _GLOBAL_RE.match(line)
+        if global_match:
+            name, size, space, init_hex = global_match.groups()
+            initializer = bytes.fromhex(init_hex) if init_hex else None
+            module.add_global(name, int(size), space, initializer)
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            name, params_text, ret_name, has_body = func_match.groups()
+            params = []
+            if params_text.strip():
+                for piece in params_text.split(","):
+                    param_match = _PARAM_RE.match(piece.strip())
+                    if not param_match:
+                        raise IRParseError(f"bad parameter {piece!r}", lineno)
+                    params.append(
+                        (param_match.group(1), type_from_name(param_match.group(2)))
+                    )
+            fn = module.add_function(name, params, type_from_name(ret_name))
+            if has_body:
+                fn_parser = _FunctionParser(fn)
+            continue
+        raise IRParseError(f"unexpected top-level line: {line!r}", lineno)
+
+    if fn_parser is not None:
+        raise IRParseError("unterminated function body (missing '}')")
+    return module

@@ -1,0 +1,146 @@
+"""Textual serialization of IR modules.
+
+The textual form is both a debugging aid and a storage format: it
+round-trips through :mod:`repro.ir.parser`.  The syntax is a simplified
+LLVM dialect::
+
+    module "kvstore"
+
+    global @table 4096 pm
+
+    func @put(%key: ptr, %len: i64) -> i64 {
+    entry:
+      %t0 = load i64, %key                  !kv.c:10
+      store i64 %t0, %key                   !kv.c:11
+      flush clwb, %key                      !kv.c:12
+      fence sfence                          !kv.c:13
+      %t1 = call i64 @hash(%key, %len)      !kv.c:14
+      ret i64 %t1                           !kv.c:15
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IRError
+from .debuginfo import SYNTHETIC
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Fence,
+    Flush,
+    Gep,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Trap,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+def format_value(value: Value) -> str:
+    """Render an operand reference (``%x``, ``@g``, or a literal)."""
+    if isinstance(value, Constant):
+        return str(value.value)
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, (Argument, Instruction)):
+        return f"%{value.name}"
+    raise IRError(f"cannot format value {value!r}")
+
+
+def _typed(value: Value) -> str:
+    return f"{value.type} {format_value(value)}"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (without its debug-location suffix)."""
+    if isinstance(instr, Alloca):
+        body = f"alloca {instr.size}"
+    elif isinstance(instr, Load):
+        body = f"load {instr.type}, {format_value(instr.pointer)}"
+    elif isinstance(instr, Store):
+        mnemonic = "store.nt" if instr.nontemporal else "store"
+        body = f"{mnemonic} {_typed(instr.value)}, {format_value(instr.pointer)}"
+    elif isinstance(instr, Gep):
+        body = f"gep {format_value(instr.base)}, {_typed(instr.offset)}"
+    elif isinstance(instr, BinOp):
+        lhs, rhs = instr.operands
+        body = f"{instr.op} {instr.type} {format_value(lhs)}, {format_value(rhs)}"
+    elif isinstance(instr, ICmp):
+        lhs, rhs = instr.operands
+        body = (
+            f"icmp {instr.pred} {lhs.type} {format_value(lhs)}, {format_value(rhs)}"
+        )
+    elif isinstance(instr, Select):
+        cond, a, b = instr.operands
+        body = (
+            f"select {format_value(cond)}, {a.type} "
+            f"{format_value(a)}, {format_value(b)}"
+        )
+    elif isinstance(instr, Cast):
+        body = f"cast {instr.kind} {_typed(instr.operands[0])} to {instr.type}"
+    elif isinstance(instr, Branch):
+        body = (
+            f"br {format_value(instr.cond)}, "
+            f"%{instr.then_block.name}, %{instr.else_block.name}"
+        )
+    elif isinstance(instr, Jump):
+        body = f"jmp %{instr.target.name}"
+    elif isinstance(instr, Ret):
+        body = "ret" if instr.value is None else f"ret {_typed(instr.value)}"
+    elif isinstance(instr, Trap):
+        body = "trap"
+    elif isinstance(instr, Call):
+        args = ", ".join(_typed(a) for a in instr.args)
+        body = f"call {instr.type} @{instr.callee}({args})"
+    elif isinstance(instr, Flush):
+        body = f"flush {instr.kind}, {format_value(instr.pointer)}"
+    elif isinstance(instr, Fence):
+        body = f"fence {instr.kind}"
+    else:
+        raise IRError(f"cannot print instruction {instr!r}")
+
+    if not instr.type.is_void:
+        body = f"%{instr.name} = {body}"
+    if instr.loc is not SYNTHETIC and instr.loc.line:
+        body = f"{body}  !{instr.loc}"
+    return body
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"%{a.name}: {a.type}" for a in fn.args)
+    header = f"func @{fn.name}({params}) -> {fn.return_type}"
+    if fn.is_declaration:
+        return header
+    lines: List[str] = [header + " {"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module as text."""
+    parts: List[str] = [f'module "{module.name}"', ""]
+    for gv in module.globals.values():
+        init = f" init {gv.initializer.hex()}" if gv.initializer else ""
+        parts.append(f"global @{gv.name} {gv.size} {gv.space}{init}")
+    if module.globals:
+        parts.append("")
+    for name in sorted(module.functions):
+        parts.append(format_function(module.functions[name]))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,115 @@
+"""Structural verification of IR modules.
+
+The verifier enforces the invariants that the rest of the system relies
+on; it is run by tests after every Hippocrates transformation to show
+the tool never produces malformed IR ("do no harm" begins with "do not
+break the build").
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..errors import VerificationError
+from .function import Function
+from .instructions import Branch, Call, Instruction, Jump, Ret, Trap
+from .module import Module
+from .values import Argument, Constant, GlobalVariable
+
+
+def verify_function(fn: Function) -> None:
+    """Check a single function; raises :class:`VerificationError`."""
+    if fn.is_declaration:
+        return
+    problems: List[str] = []
+
+    block_set = set(fn.blocks)
+    defined: Set[int] = {id(a) for a in fn.args}
+    module = fn.parent
+
+    for block in fn.blocks:
+        if block.parent is not fn:
+            problems.append(f"block {block.name} has wrong parent")
+        if block.terminator is None:
+            problems.append(f"block {block.name} lacks a terminator")
+        for index, instr in enumerate(block):
+            if instr.parent is not block:
+                problems.append(f"#{instr.iid} has wrong parent block")
+            if instr.is_terminator and index != len(block.instructions) - 1:
+                problems.append(
+                    f"terminator #{instr.iid} is not last in block {block.name}"
+                )
+            for succ in (
+                instr.successors() if isinstance(instr, (Branch, Jump)) else []
+            ):
+                if succ not in block_set:
+                    problems.append(
+                        f"#{instr.iid} targets foreign block {succ.name!r}"
+                    )
+            if isinstance(instr, Ret):
+                if instr.value is None and not fn.return_type.is_void:
+                    problems.append(f"#{instr.iid}: ret without value in non-void fn")
+                if instr.value is not None and instr.value.type != fn.return_type:
+                    problems.append(
+                        f"#{instr.iid}: ret type {instr.value.type} != "
+                        f"{fn.return_type}"
+                    )
+            if isinstance(instr, Call) and module is not None:
+                if module.has_function(instr.callee):
+                    callee = module.get_function(instr.callee)
+                    if len(callee.args) != len(instr.args):
+                        problems.append(
+                            f"#{instr.iid}: call @{instr.callee} arity "
+                            f"{len(instr.args)} != {len(callee.args)}"
+                        )
+                    elif instr.type != callee.return_type:
+                        problems.append(
+                            f"#{instr.iid}: call @{instr.callee} type "
+                            f"{instr.type} != {callee.return_type}"
+                        )
+            for op in instr.operands:
+                if isinstance(op, Constant):
+                    continue
+                if isinstance(op, GlobalVariable):
+                    if module is None or op.name not in module.globals:
+                        problems.append(f"#{instr.iid} uses unknown global @{op.name}")
+                    continue
+                if isinstance(op, Argument):
+                    if op.parent is not fn:
+                        problems.append(
+                            f"#{instr.iid} uses argument %{op.name} of another fn"
+                        )
+                    continue
+                if isinstance(op, Instruction):
+                    if op.function is not fn:
+                        problems.append(
+                            f"#{instr.iid} uses instruction of another function"
+                        )
+                    continue
+                problems.append(f"#{instr.iid} has bad operand {op!r}")
+            defined.add(id(instr))
+
+    # Definition-before-use along textual order.  Because the builder
+    # emits in program order and the apps use alloca/load/store for any
+    # value that crosses control flow, a simple linear scan is the right
+    # check (it is stricter than dominance for our IR subset).
+    seen: Set[int] = {id(a) for a in fn.args}
+    for block in fn.blocks:
+        for instr in block:
+            for op in instr.operands:
+                if isinstance(op, Instruction) and id(op) not in seen:
+                    problems.append(
+                        f"#{instr.iid} uses %{op.name} (#{op.iid}) before definition"
+                    )
+            seen.add(id(instr))
+
+    if problems:
+        raise VerificationError(
+            f"function @{fn.name}: " + "; ".join(problems[:10])
+        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    for fn in module.functions.values():
+        verify_function(fn)

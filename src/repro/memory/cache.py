@@ -1,0 +1,162 @@
+"""CPU cache model for persistent memory lines.
+
+Implements the durability semantics from the paper's §2.1/§4.2:
+
+- Stores to PM dirty the containing cache line; the data is visible to
+  loads immediately but is *not durable*.
+- ``clwb``/``clflushopt`` are weakly ordered: they move the line into a
+  pending write-back queue which only completes at the next fence.
+- ``clflush`` is self-serializing with respect to the flushed line: the
+  write-back completes immediately.
+- ``sfence``/``mfence`` drain the pending queue, completing durability
+  for every line flushed since the last fence.
+
+The model also remembers *which store events* made each line dirty, so
+the durability checker can attribute a bug to the precise store (and,
+through the trace, to the precise IR instruction) that is not durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .layout import AddressSpace, lines_covering
+from .persistence import PersistentImage
+
+
+@dataclass
+class LineState:
+    """Pending durability bookkeeping for one PM cache line."""
+
+    #: store event sequence numbers that dirtied the line and are not
+    #: yet covered by a completed flush+fence
+    dirty_stores: Set[int] = field(default_factory=set)
+    #: store event sequence numbers covered by an issued (weakly
+    #: ordered) flush that has not yet been fenced
+    flushing_stores: Set[int] = field(default_factory=set)
+
+    @property
+    def is_dirty(self) -> bool:
+        return bool(self.dirty_stores)
+
+    @property
+    def is_flushing(self) -> bool:
+        return bool(self.flushing_stores)
+
+    @property
+    def is_pending(self) -> bool:
+        return self.is_dirty or self.is_flushing
+
+
+class CacheModel:
+    """Tracks per-line durability state for the PM region."""
+
+    def __init__(self, space: AddressSpace, image: PersistentImage):
+        self.space = space
+        self.image = image
+        self.lines: Dict[int, LineState] = {}
+        #: statistics used by benchmarks and the redundant-flush report
+        self.flush_count = 0
+        self.clean_flush_count = 0
+        self.fence_count = 0
+
+    def _line(self, line_addr: int) -> LineState:
+        if line_addr not in self.lines:
+            self.lines[line_addr] = LineState()
+        return self.lines[line_addr]
+
+    # -- events ----------------------------------------------------------------
+
+    def on_store(self, addr: int, size: int, seq: int) -> None:
+        """A store of ``size`` bytes at ``addr`` (PM only), event id ``seq``."""
+        for line_addr in lines_covering(addr, size):
+            self._line(line_addr).dirty_stores.add(seq)
+
+    def on_nt_store(self, addr: int, size: int, seq: int) -> None:
+        """A non-temporal store: bypasses the cache into the write-
+        combining buffer.  No flush is needed, but the write-back only
+        completes at the next fence (weakly ordered) — so the bytes go
+        straight to the *flushing* (queued) state."""
+        for line_addr in lines_covering(addr, size):
+            self._line(line_addr).flushing_stores.add(seq)
+
+    def on_flush(self, addr: int, kind: str) -> str:
+        """A flush of the line containing ``addr``.
+
+        Returns the flush's effect, which the cost model prices:
+
+        - ``"writeback"`` — the line was dirty and not yet queued: this
+          flush schedules a real media write-back (full cost).
+        - ``"coalesced"`` — the line was dirty but already sits in the
+          write-pending queue from an earlier flush: the WPQ entry
+          absorbs the new bytes (cheap).  This is why flush-per-store
+          code (Hippocrates's clones) is not much slower than
+          flush-per-line code (``pmem_flush``).
+        - ``"redundant"`` — the line was completely clean: the raw
+          material of PM *performance* bugs, which the detector reports
+          but Hippocrates deliberately never "fixes" (§7).
+        """
+        self.flush_count += 1
+        line_addr = lines_covering(addr, 1)[0]
+        state = self.lines.get(line_addr)
+        if state is None or not state.is_dirty:
+            if state is None or not state.is_flushing:
+                self.clean_flush_count += 1
+                return "redundant"
+            return "coalesced"
+        already_queued = state.is_flushing
+        if kind == "clflush":
+            # Strongly ordered: write-back completes immediately.
+            self.image.write_back_line(line_addr)
+            state.dirty_stores.clear()
+            # clflush also completes anything previously queued.
+            state.flushing_stores.clear()
+            return "writeback"
+        state.flushing_stores |= state.dirty_stores
+        state.dirty_stores.clear()
+        return "coalesced" if already_queued else "writeback"
+
+    def on_fence(self, kind: str) -> List[int]:
+        """A fence: complete all queued write-backs.
+
+        Returns the line addresses whose durability completed.
+        """
+        self.fence_count += 1
+        completed = []
+        for line_addr, state in self.lines.items():
+            if state.is_flushing:
+                self.image.write_back_line(line_addr)
+                state.flushing_stores.clear()
+                completed.append(line_addr)
+        return completed
+
+    # -- queries -----------------------------------------------------------------
+
+    def pending_lines(self) -> List[int]:
+        """Lines with un-durable data (dirty or queued)."""
+        return sorted(
+            line_addr for line_addr, state in self.lines.items() if state.is_pending
+        )
+
+    def pending_store_seqs(self) -> Set[int]:
+        """Store event ids whose durability has not completed."""
+        seqs: Set[int] = set()
+        for state in self.lines.values():
+            seqs |= state.dirty_stores
+            seqs |= state.flushing_stores
+        return seqs
+
+    def dirty_store_seqs(self) -> Set[int]:
+        """Store event ids not yet covered by any flush."""
+        seqs: Set[int] = set()
+        for state in self.lines.values():
+            seqs |= state.dirty_stores
+        return seqs
+
+    def flushing_store_seqs(self) -> Set[int]:
+        """Store event ids flushed but not yet fenced."""
+        seqs: Set[int] = set()
+        for state in self.lines.values():
+            seqs |= state.flushing_stores
+        return seqs

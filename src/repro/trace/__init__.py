@@ -1,0 +1,31 @@
+"""PM operation traces: events, containers, and pmemcheck-style text I/O."""
+
+from .events import (
+    BoundaryEvent,
+    CallStack,
+    FenceEvent,
+    FlushEvent,
+    StackFrame,
+    StoreEvent,
+    TraceEvent,
+    innermost,
+)
+from .pmemcheck import dump_event, dump_trace, load_trace, parse_event
+from .trace import PMTrace, TraceRecorder
+
+__all__ = [
+    "BoundaryEvent",
+    "CallStack",
+    "dump_event",
+    "dump_trace",
+    "FenceEvent",
+    "FlushEvent",
+    "innermost",
+    "load_trace",
+    "parse_event",
+    "PMTrace",
+    "StackFrame",
+    "StoreEvent",
+    "TraceEvent",
+    "TraceRecorder",
+]

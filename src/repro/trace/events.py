@@ -1,0 +1,120 @@
+"""PM trace events.
+
+Hippocrates "expects a PM-specific execution trace where each event in
+the trace includes the source line where the event occurred, the stack
+trace at the time of the event, and PM-specific information" (§4.1).
+These dataclasses are exactly that: every event carries its sequence
+number, the IR instruction id, the source location, and the full call
+stack at the time of the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir.debuginfo import DebugLoc
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One frame of a call stack.
+
+    For caller frames, ``iid``/``loc`` identify the *call site*.  For
+    the innermost frame they identify the event's own instruction.
+    """
+
+    function: str
+    iid: int
+    loc: DebugLoc
+
+    def __str__(self) -> str:
+        return f"{self.function}@{self.loc}#{self.iid}"
+
+    @classmethod
+    def parse(cls, text: str) -> "StackFrame":
+        head, _, iid = text.rpartition("#")
+        function, _, loc = head.partition("@")
+        return cls(function, int(iid), DebugLoc.parse(loc))
+
+
+#: A call stack, outermost frame first, the event's own frame last.
+CallStack = Tuple[StackFrame, ...]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class for all PM trace events."""
+
+    seq: int
+    iid: int
+    loc: DebugLoc
+    function: str
+    stack: CallStack
+
+    kind: str = "event"
+
+    @property
+    def caller_frames(self) -> CallStack:
+        """The stack without the event's own frame."""
+        return self.stack[:-1]
+
+
+@dataclass(frozen=True)
+class StoreEvent(TraceEvent):
+    """A store; ``space`` distinguishes PM from volatile targets.
+
+    pmemcheck only logs PM stores; the recorder follows suit unless
+    asked to log everything (volatile stores are useful to some tests).
+    ``nontemporal`` marks MOVNT stores, which need no flush but still
+    need a fence.
+    """
+
+    addr: int = 0
+    size: int = 0
+    space: str = "pm"
+    nontemporal: bool = False
+    kind: str = "store"
+
+
+@dataclass(frozen=True)
+class FlushEvent(TraceEvent):
+    """A cache-line flush (clwb / clflushopt / clflush).
+
+    ``had_work`` is False for a redundant flush of a clean line — the
+    detector reports those as performance diagnostics.
+    """
+
+    addr: int = 0
+    line_addr: int = 0
+    flush_kind: str = "clwb"
+    had_work: bool = True
+    kind: str = "flush"
+
+
+@dataclass(frozen=True)
+class FenceEvent(TraceEvent):
+    """A memory fence (sfence / mfence)."""
+
+    fence_kind: str = "sfence"
+    kind: str = "fence"
+
+
+@dataclass(frozen=True)
+class BoundaryEvent(TraceEvent):
+    """A durability boundary: the instruction *I* of the paper's
+    X -> F(X) -> M -> I obligation.
+
+    Boundaries come from explicit ``checkpoint`` calls in the program
+    under test (modelling transaction commits, replies to clients, and
+    other points by which prior PM updates must be durable) and from
+    program exit.
+    """
+
+    label: str = "exit"
+    kind: str = "boundary"
+
+
+def innermost(event: TraceEvent) -> Optional[StackFrame]:
+    """The event's own frame (None for synthetic events)."""
+    return event.stack[-1] if event.stack else None

@@ -1,0 +1,136 @@
+"""pmemcheck-style text serialization of PM traces.
+
+Real pmemcheck emits a textual log of PM operations; Hippocrates's
+front-end (Step 1 in Fig. 2) parses it.  We reproduce that interface:
+:func:`dump_trace` renders a :class:`~repro.trace.trace.PMTrace` to a
+semicolon-separated text log and :func:`load_trace` parses it back,
+losslessly.  The Hippocrates orchestrator accepts either the in-memory
+trace or the text form, exercising the same parsing path the paper
+describes (their Redis traces were over 350 MB of this kind of output).
+
+Line format (one event per line)::
+
+    STORE;<seq>;<addr-hex>;<size>;<space>;<stack>
+    FLUSH;<seq>;<addr-hex>;<line-hex>;<kind>;<had_work>;<stack>
+    FENCE;<seq>;<kind>;<stack>
+    BOUNDARY;<seq>;<label>;<stack>
+
+where ``<stack>`` is ``fn@file:line#iid`` frames joined by ``|``
+(outermost first; the final frame is the event's own instruction).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import TraceError
+from .events import (
+    BoundaryEvent,
+    CallStack,
+    FenceEvent,
+    FlushEvent,
+    StackFrame,
+    StoreEvent,
+    TraceEvent,
+)
+from .trace import PMTrace
+
+_HEADER = "# pmemcheck-compatible PM operation trace (repro format v1)"
+
+
+def _format_stack(stack: CallStack) -> str:
+    return "|".join(str(frame) for frame in stack)
+
+
+def _parse_stack(text: str) -> CallStack:
+    if not text:
+        return ()
+    return tuple(StackFrame.parse(piece) for piece in text.split("|"))
+
+
+def dump_event(event: TraceEvent) -> str:
+    """Render one event as a text line."""
+    stack = _format_stack(event.stack)
+    if isinstance(event, StoreEvent):
+        space = f"{event.space}.nt" if event.nontemporal else event.space
+        return f"STORE;{event.seq};{event.addr:#x};{event.size};{space};{stack}"
+    if isinstance(event, FlushEvent):
+        return (
+            f"FLUSH;{event.seq};{event.addr:#x};{event.line_addr:#x};"
+            f"{event.flush_kind};{int(event.had_work)};{stack}"
+        )
+    if isinstance(event, FenceEvent):
+        return f"FENCE;{event.seq};{event.fence_kind};{stack}"
+    if isinstance(event, BoundaryEvent):
+        return f"BOUNDARY;{event.seq};{event.label};{stack}"
+    raise TraceError(f"cannot serialize event {event!r}")
+
+
+def _own_fields(seq: str, stack: CallStack) -> dict:
+    if not stack:
+        raise TraceError("event with empty stack")
+    own = stack[-1]
+    return {
+        "seq": int(seq),
+        "iid": own.iid,
+        "loc": own.loc,
+        "function": own.function,
+        "stack": stack,
+    }
+
+
+def parse_event(line: str) -> TraceEvent:
+    """Parse one text line back into an event."""
+    parts = line.rstrip("\n").split(";")
+    tag = parts[0]
+    try:
+        if tag == "STORE":
+            _, seq, addr, size, space, stack_text = parts
+            nontemporal = space.endswith(".nt")
+            return StoreEvent(
+                addr=int(addr, 16),
+                size=int(size),
+                space=space.removesuffix(".nt"),
+                nontemporal=nontemporal,
+                **_own_fields(seq, _parse_stack(stack_text)),
+            )
+        if tag == "FLUSH":
+            _, seq, addr, line_addr, kind, had_work, stack_text = parts
+            return FlushEvent(
+                addr=int(addr, 16),
+                line_addr=int(line_addr, 16),
+                flush_kind=kind,
+                had_work=bool(int(had_work)),
+                **_own_fields(seq, _parse_stack(stack_text)),
+            )
+        if tag == "FENCE":
+            _, seq, kind, stack_text = parts
+            return FenceEvent(
+                fence_kind=kind, **_own_fields(seq, _parse_stack(stack_text))
+            )
+        if tag == "BOUNDARY":
+            _, seq, label, stack_text = parts
+            return BoundaryEvent(
+                label=label, **_own_fields(seq, _parse_stack(stack_text))
+            )
+    except (ValueError, TraceError) as exc:
+        raise TraceError(f"malformed trace line {line!r}: {exc}") from exc
+    raise TraceError(f"unknown trace record {tag!r}")
+
+
+def dump_trace(trace: PMTrace) -> str:
+    """Serialize a whole trace to text."""
+    lines: List[str] = [_HEADER]
+    lines.extend(dump_event(event) for event in trace)
+    return "\n".join(lines) + "\n"
+
+
+def load_trace(text: str) -> PMTrace:
+    """Parse a text log back into a :class:`PMTrace`."""
+    events: List[TraceEvent] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        events.append(parse_event(line))
+    return PMTrace(events)

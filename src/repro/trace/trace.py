@@ -1,0 +1,133 @@
+"""The PM trace container and recorder."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Type, TypeVar
+
+from .events import (
+    BoundaryEvent,
+    CallStack,
+    FenceEvent,
+    FlushEvent,
+    StoreEvent,
+    TraceEvent,
+)
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class PMTrace:
+    """An ordered sequence of PM events from one execution."""
+
+    def __init__(self, events: Optional[List[TraceEvent]] = None):
+        self.events: List[TraceEvent] = events or []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self.events[index]
+
+    # -- filtered views -------------------------------------------------------
+
+    def of_kind(self, event_type: Type[E]) -> List[E]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def stores(self, pm_only: bool = True) -> List[StoreEvent]:
+        stores = self.of_kind(StoreEvent)
+        if pm_only:
+            stores = [s for s in stores if s.space == "pm"]
+        return stores
+
+    def flushes(self) -> List[FlushEvent]:
+        return self.of_kind(FlushEvent)
+
+    def fences(self) -> List[FenceEvent]:
+        return self.of_kind(FenceEvent)
+
+    def boundaries(self) -> List[BoundaryEvent]:
+        return self.of_kind(BoundaryEvent)
+
+    def pm_store_iids(self) -> List[int]:
+        """IR instruction ids of every PM-modifying store (Trace-AA input)."""
+        return sorted({s.iid for s in self.stores()})
+
+
+class TraceRecorder:
+    """Builds a :class:`PMTrace` during interpretation.
+
+    The interpreter calls the ``record_*`` methods; ``stack_provider``
+    supplies the live call stack (outermost first, innermost last).
+
+    :param record_volatile_stores: pmemcheck only traces PM operations;
+        set this for tests that want volatile stores too.
+    """
+
+    def __init__(
+        self,
+        stack_provider: Callable[[], CallStack],
+        record_volatile_stores: bool = False,
+    ):
+        self.trace = PMTrace()
+        self._stack_provider = stack_provider
+        self.record_volatile_stores = record_volatile_stores
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _base_fields(self) -> dict:
+        stack = self._stack_provider()
+        own = stack[-1]
+        return {
+            "seq": self._next_seq(),
+            "iid": own.iid,
+            "loc": own.loc,
+            "function": own.function,
+            "stack": stack,
+        }
+
+    def record_store(
+        self, addr: int, size: int, space: str, nontemporal: bool = False
+    ) -> Optional[StoreEvent]:
+        if space != "pm" and not self.record_volatile_stores:
+            return None
+        event = StoreEvent(
+            addr=addr,
+            size=size,
+            space=space,
+            nontemporal=nontemporal,
+            **self._base_fields(),
+        )
+        self.trace.append(event)
+        return event
+
+    def record_flush(
+        self, addr: int, line_addr: int, kind: str, had_work: bool
+    ) -> FlushEvent:
+        event = FlushEvent(
+            addr=addr,
+            line_addr=line_addr,
+            flush_kind=kind,
+            had_work=had_work,
+            **self._base_fields(),
+        )
+        self.trace.append(event)
+        return event
+
+    def record_fence(self, kind: str) -> FenceEvent:
+        event = FenceEvent(fence_kind=kind, **self._base_fields())
+        self.trace.append(event)
+        return event
+
+    def record_boundary(self, label: str) -> BoundaryEvent:
+        event = BoundaryEvent(label=label, **self._base_fields())
+        self.trace.append(event)
+        return event

@@ -1,0 +1,49 @@
+"""Workload generation: YCSB core workloads and their distributions."""
+
+from .ycsb import (
+    CORE_WORKLOADS,
+    FIG4_ORDER,
+    INSERT,
+    Operation,
+    READ,
+    RMW,
+    RunResult,
+    SCAN,
+    UPDATE,
+    WorkloadSpec,
+    execute,
+    generate_load,
+    generate_run,
+    make_key,
+    make_value,
+)
+from .zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a64,
+)
+
+__all__ = [
+    "CORE_WORKLOADS",
+    "execute",
+    "FIG4_ORDER",
+    "fnv1a64",
+    "generate_load",
+    "generate_run",
+    "INSERT",
+    "LatestGenerator",
+    "make_key",
+    "make_value",
+    "Operation",
+    "READ",
+    "RMW",
+    "RunResult",
+    "SCAN",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "UPDATE",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+]

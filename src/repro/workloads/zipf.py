@@ -1,0 +1,116 @@
+"""Zipfian and related request distributions (YCSB's generators).
+
+Implements the standard YCSB generator family:
+
+- :class:`ZipfianGenerator` — Gray et al.'s rejection-free zipfian
+  sampler (the same algorithm YCSB uses), skew ``theta`` = 0.99.
+- :class:`ScrambledZipfianGenerator` — zipfian over a hashed keyspace,
+  so the popular items are spread across the key range.
+- :class:`LatestGenerator` — skewed towards recently inserted items
+  (workload D).
+- :class:`UniformGenerator` — uniform over the item count.
+
+All generators draw from a seeded :class:`random.Random`, so workloads
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def fnv1a64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's
+    key-scrambling hash)."""
+    result = 0xCBF29CE484222325
+    for _ in range(8):
+        result = ((result ^ (value & 0xFF)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return result
+
+
+class UniformGenerator:
+    """Uniform over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self._rng = rng
+
+    def next(self) -> int:
+        return self._rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Gray et al.'s zipfian sampler over ``[0, item_count)``.
+
+    Item 0 is the most popular.  ``theta`` = 0.99 matches YCSB.
+    """
+
+    def __init__(self, item_count: int, rng: random.Random, theta: float = 0.99):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = rng
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.item_count * ((self._eta * u - self._eta + 1) ** self._alpha)
+        )
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian with FNV-scrambled ranks, as in YCSB: popularity is
+    zipfian but popular items are scattered over the keyspace."""
+
+    def __init__(self, item_count: int, rng: random.Random, theta: float = 0.99):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng, theta)
+
+    def next(self) -> int:
+        return fnv1a64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards the most recently inserted item (workload D).
+
+    ``max_item`` grows as the client inserts; ``next`` favors items
+    near the current maximum.
+    """
+
+    def __init__(self, item_count: int, rng: random.Random, theta: float = 0.99):
+        self.max_item = item_count
+        self._rng = rng
+        self._theta = theta
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._zipf = ZipfianGenerator(self.max_item, self._rng, self._theta)
+
+    def advance(self) -> int:
+        """Record an insert; returns the new item's index."""
+        index = self.max_item
+        self.max_item += 1
+        self._rebuild()
+        return index
+
+    def next(self) -> int:
+        return self.max_item - 1 - self._zipf.next() % self.max_item

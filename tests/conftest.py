@@ -1,0 +1,67 @@
+"""Shared test fixtures: canonical modules from the paper's listings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detect import pmemcheck_run
+from repro.ir import I64, I8, ModuleBuilder, PTR
+
+
+def build_listing5_module():
+    """The paper's Listing 5 program (pre-fix).
+
+    ``update`` stores through a pointer that is volatile on the hot
+    loop path and persistent on the final call; the fence in ``foo``
+    exists but nothing flushes the PM store.
+    """
+    mb = ModuleBuilder("listing5")
+    b = mb.function(
+        "update", [("addr", PTR), ("idx", I64), ("val", I64)], source_file="listing5.c"
+    )
+    p = b.gep(b.function.args[0], b.function.args[1])
+    b.store(b.function.args[2], p, I8)
+    b.ret()
+
+    b = mb.function("modify", [("addr", PTR)], source_file="listing5.c")
+    b.call("update", [b.function.args[0], 0, 7])
+    b.ret()
+
+    b = mb.function(
+        "foo", [("vol_addr", PTR), ("pm_addr", PTR)], source_file="listing5.c"
+    )
+    loop_i = b.alloca(8)
+    b.store(0, loop_i)
+    cond_bb = b.new_block("cond")
+    body_bb = b.new_block("body")
+    done_bb = b.new_block("done")
+    b.jmp(cond_bb)
+    b.position_at_end(cond_bb)
+    b.br(b.icmp("ult", b.load(loop_i), 3), body_bb, done_bb)
+    b.position_at_end(body_bb)
+    b.call("modify", [b.function.args[0]])
+    b.store(b.add(b.load(loop_i), 1), loop_i)
+    b.jmp(cond_bb)
+    b.position_at_end(done_bb)
+    b.call("modify", [b.function.args[1]])
+    b.fence()
+    b.ret()
+
+    b = mb.function("main", [], I64, source_file="listing5.c")
+    vol = b.call("vol_alloc", [64], PTR)
+    pm = b.call("pm_alloc", [64], PTR)
+    b.call("foo", [vol, pm])
+    b.ret(0)
+    return mb.module
+
+
+def drive_main(interp):
+    interp.call("main")
+
+
+@pytest.fixture
+def listing5():
+    """(module, detection, trace, interpreter) for Listing 5."""
+    module = build_listing5_module()
+    detection, trace, interp = pmemcheck_run(module, drive_main)
+    return module, detection, trace, interp

@@ -1,0 +1,105 @@
+"""Unit tests for the PM classifiers and heuristic scoring."""
+
+from repro.analysis import (
+    CallGraph,
+    PointsTo,
+    classify_full_aa,
+    classify_trace_aa,
+)
+from repro.detect import pmemcheck_run
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def mixed_module():
+    """The paper's Listing 5/6 pointer structure."""
+    mb = ModuleBuilder("mix")
+    b = mb.function("update", [("addr", PTR)], I64)
+    b.store(7, b.function.args[0])
+    b.ret(0)
+    b = mb.function("main", [], I64)
+    vol = b.call("vol_alloc", [64], PTR)
+    pm = b.call("pm_alloc", [64], PTR)
+    b.call("update", [vol], I64)
+    b.call("update", [pm], I64)
+    b.ret(0)
+    return mb.module
+
+
+class TestFullAA:
+    def test_scores_match_listing6(self):
+        module = mixed_module()
+        cls = classify_full_aa(module)
+        main = module.get_function("main")
+        update = module.get_function("update")
+        vol_value, pm_value = main.calls()[0], main.calls()[1]
+        assert cls.score(vol_value) == -1
+        assert cls.score(pm_value) == 1
+        # update's parameter aliases both: mixed -> 0
+        assert cls.score(update.args[0]) == 0
+
+    def test_may_be_pm(self):
+        module = mixed_module()
+        cls = classify_full_aa(module)
+        main = module.get_function("main")
+        update = module.get_function("update")
+        assert not cls.may_be_pm(main.calls()[0])
+        assert cls.may_be_pm(main.calls()[1])
+        assert cls.may_be_pm(update.args[0])  # mixed is maybe-PM
+        assert cls.store_may_be_pm(update.stores()[0])
+
+    def test_pm_globals_included(self):
+        mb = ModuleBuilder("g")
+        table = mb.global_("table", 64, "pm")
+        scratch = mb.global_("scratch", 64, "vol")
+        b = mb.function("main", [], I64)
+        b.store(1, b.gep(table, 0))
+        b.store(1, b.gep(scratch, 0))
+        b.ret(0)
+        cls = classify_full_aa(mb.module)
+        assert "global:table" in cls.pm_keys
+        assert "global:scratch" not in cls.pm_keys
+
+    def test_functions_with_pm_stores_transitive(self):
+        module = mixed_module()
+        cls = classify_full_aa(module)
+        pm_fns = cls.functions_with_pm_stores(CallGraph(module))
+        assert "update" in pm_fns and "main" in pm_fns
+
+
+class TestTraceAA:
+    def test_agrees_with_full_on_executed_program(self):
+        module = mixed_module()
+        _, trace, interp = pmemcheck_run(module, lambda i: i.call("main"))
+        full = classify_full_aa(module)
+        traced = classify_trace_aa(module, trace, interp.machine)
+        main = module.get_function("main")
+        update = module.get_function("update")
+        for value in (main.calls()[0], main.calls()[1], update.args[0]):
+            assert full.score(value) == traced.score(value)
+
+    def test_name(self):
+        module = mixed_module()
+        _, trace, interp = pmemcheck_run(module, lambda i: i.call("main"))
+        assert classify_trace_aa(module, trace, interp.machine).name == "Trace-AA"
+        assert classify_full_aa(module).name == "Full-AA"
+
+
+class TestScoreSemantics:
+    def test_untracked_pointer_scores_zero(self):
+        mb = ModuleBuilder("u")
+        b = mb.function("f", [("p", PTR)], I64)
+        b.ret(0)
+        module = mb.module
+        cls = classify_full_aa(module)
+        assert cls.score(module.get_function("f").args[0]) == 0
+
+    def test_unknown_site_neither_pm_nor_volatile(self):
+        mb = ModuleBuilder("u")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [8], PTR)
+        back = b.cast("inttoptr", b.cast("ptrtoint", p, I64), PTR)
+        b.ret(0)
+        cls = classify_full_aa(mb.module)
+        # points-to = {UNKNOWN}: score 0, but maybe-PM for safety
+        assert cls.score(back) == 0
+        assert cls.may_be_pm(back)

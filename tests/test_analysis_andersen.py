@@ -1,0 +1,144 @@
+"""Unit tests for Andersen's points-to analysis."""
+
+from repro.analysis import PointsTo, UNKNOWN_SITE
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def test_alloc_sites_distinct():
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    q = b.call("vol_alloc", [64], PTR)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    sp, sq = pts.sites_of(p), pts.sites_of(q)
+    assert len(sp) == 1 and len(sq) == 1
+    assert next(iter(sp)).space == "pm"
+    assert next(iter(sq)).space == "vol"
+    assert not pts.may_alias(p, q)
+
+
+def test_gep_preserves_target():
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    g = b.gep(p, 8)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert pts.sites_of(g) == pts.sites_of(p)
+    assert pts.may_alias(g, p)
+
+
+def test_argument_flow_through_calls():
+    mb = ModuleBuilder("a")
+    b = mb.function("callee", [("q", PTR)], I64)
+    b.store(1, b.function.args[0])
+    b.ret(0)
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    v = b.call("vol_alloc", [64], PTR)
+    b.call("callee", [p], I64)
+    b.call("callee", [v], I64)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    callee_arg = mb.module.get_function("callee").args[0]
+    spaces = {s.space for s in pts.sites_of(callee_arg)}
+    assert spaces == {"pm", "vol"}
+
+
+def test_return_value_flow():
+    mb = ModuleBuilder("a")
+    b = mb.function("make", [], PTR)
+    b.ret(b.call("pm_alloc", [64], PTR))
+    b = mb.function("main", [], I64)
+    p = b.call("make", [], PTR)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert {s.space for s in pts.sites_of(p)} == {"pm"}
+
+
+def test_pointers_through_memory():
+    """Store a pointer into a slot, load it back: heap constraints."""
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [], I64)
+    slot = b.alloca(8)
+    p = b.call("pm_alloc", [64], PTR)
+    b.store(p, slot, PTR)
+    loaded = b.load(slot, PTR)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert pts.sites_of(loaded) == pts.sites_of(p)
+
+
+def test_pointer_chains_through_pm():
+    """Entries linked through PM (the hash-chain pattern)."""
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [], I64)
+    bucket = b.call("pm_alloc", [8], PTR)
+    entry = b.call("pm_alloc", [64], PTR)
+    b.store(entry, bucket, PTR)
+    walked = b.load(bucket, PTR)
+    b.store(7, walked)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert pts.may_alias(walked, entry)
+    assert {s.space for s in pts.sites_of(walked)} == {"pm"}
+
+
+def test_select_union():
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [("c", I64)], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    v = b.call("vol_alloc", [64], PTR)
+    cond = b.icmp("ne", b.function.args[0], 0)
+    chosen = b.select(cond, p, v)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert pts.sites_of(chosen) == pts.sites_of(p) | pts.sites_of(v)
+
+
+def test_inttoptr_is_unknown():
+    mb = ModuleBuilder("a")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    as_int = b.cast("ptrtoint", p, I64)
+    back = b.cast("inttoptr", as_int, PTR)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    assert UNKNOWN_SITE in pts.sites_of(back)
+    # unknown aliases everything
+    assert pts.may_alias(back, p)
+
+
+def test_globals_are_singleton_sites():
+    mb = ModuleBuilder("a")
+    table = mb.global_("table", 64, "pm")
+    b = mb.function("main", [], I64)
+    g = b.gep(table, 8)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    sites = pts.sites_of(g)
+    assert len(sites) == 1 and next(iter(sites)).key == "global:table"
+
+
+def test_pm_root_shared_site():
+    mb = ModuleBuilder("a")
+    b = mb.function("f", [], PTR)
+    b.ret(b.call("pm_root", [64], PTR))
+    b = mb.function("g", [], PTR)
+    b.ret(b.call("pm_root", [64], PTR))
+    pts = PointsTo(mb.module)
+    f_root = mb.module.get_function("f").calls()[0]
+    g_root = mb.module.get_function("g").calls()[0]
+    assert pts.sites_of(f_root) == pts.sites_of(g_root)
+
+
+def test_may_point_to_space_conservative_on_empty():
+    mb = ModuleBuilder("a")
+    b = mb.function("f", [("p", PTR)], I64)
+    b.ret(0)
+    pts = PointsTo(mb.module)
+    arg = mb.module.get_function("f").args[0]
+    # No callers: empty points-to set, conservatively maybe-anything.
+    assert pts.may_point_to_space(arg, "pm")
+    assert pts.may_point_to_space(arg, "vol")

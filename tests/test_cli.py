@@ -1,0 +1,99 @@
+"""Tests for the command-line front-end (file-to-file workflow)."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir import I64, ModuleBuilder, PTR, format_module, parse_module
+
+
+@pytest.fixture
+def buggy_ir(tmp_path):
+    mb = ModuleBuilder("cli")
+    b = mb.function("main", [], I64, source_file="cli.c")
+    p = b.call("pm_alloc", [64], PTR)
+    b.store(42, p)
+    b.call("emit", [b.load(p)])
+    b.ret(0)
+    path = tmp_path / "app.ir"
+    path.write_text(format_module(mb.module))
+    return path
+
+
+def test_show(buggy_ir, capsys):
+    assert main(["show", str(buggy_ir)]) == 0
+    out = capsys.readouterr().out
+    assert "func @main" in out
+
+
+def test_run(buggy_ir, capsys):
+    assert main(["run", str(buggy_ir)]) == 0
+    out = capsys.readouterr().out
+    assert "@main() -> 0" in out
+    assert "output: 42" in out
+
+
+def test_detect_reports_bug_and_writes_trace(buggy_ir, tmp_path, capsys):
+    trace_path = tmp_path / "app.trace"
+    code = main(
+        ["detect", str(buggy_ir), "--trace-out", str(trace_path)]
+    )
+    assert code == 1  # bugs found
+    assert "missing-flush&fence" in capsys.readouterr().out
+    assert trace_path.exists()
+    assert "STORE;" in trace_path.read_text()
+
+
+def test_detect_fix_detect_roundtrip(buggy_ir, tmp_path, capsys):
+    trace_path = tmp_path / "app.trace"
+    fixed_path = tmp_path / "app.fixed.ir"
+    assert main(["detect", str(buggy_ir), "--trace-out", str(trace_path)]) == 1
+    assert (
+        main(
+            [
+                "fix",
+                str(buggy_ir),
+                "--trace",
+                str(trace_path),
+                "-o",
+                str(fixed_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fixed 1 bug(s)" in out
+    # the fixed module is valid IR containing the inserted flush+fence
+    fixed = parse_module(fixed_path.read_text())
+    ops = [i.opcode for i in fixed.get_function("main").instructions()]
+    assert "flush" in ops and "fence" in ops
+    # and is clean on re-detection
+    assert main(["detect", str(fixed_path)]) == 0
+
+
+def test_fix_in_place(buggy_ir, tmp_path):
+    trace_path = tmp_path / "app.trace"
+    main(["detect", str(buggy_ir), "--trace-out", str(trace_path)])
+    main(["fix", str(buggy_ir), "--trace", str(trace_path)])
+    assert main(["detect", str(buggy_ir)]) == 0
+
+
+def test_error_handling_bad_file(tmp_path, capsys):
+    missing = tmp_path / "nope.ir"
+    assert main(["show", str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_error_handling_bad_ir(tmp_path, capsys):
+    bad = tmp_path / "bad.ir"
+    bad.write_text("this is not IR")
+    assert main(["show", str(bad)]) == 2
+
+
+def test_run_with_args(tmp_path, capsys):
+    mb = ModuleBuilder("cli")
+    b = mb.function("main", [("x", I64), ("y", I64)], I64)
+    b.ret(b.add(b.function.args[0], b.function.args[1]))
+    path = tmp_path / "add.ir"
+    path.write_text(format_module(mb.module))
+    assert main(["run", str(path), "--args", "2", "0x28"]) == 0
+    assert "-> 42" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Unit tests for fix generation (phase 1) and reduction (phase 2)."""
+
+from repro.core import (
+    InsertFenceAfterFlush,
+    InsertFlush,
+    InsertFlushAndFence,
+    Locator,
+    generate_intraprocedural_fixes,
+    reduce_fixes,
+)
+from repro.detect import BugKind, pmemcheck_run
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def detect_and_fixes(build):
+    mb = ModuleBuilder("t")
+    build(mb)
+    detection, trace, interp = pmemcheck_run(mb.module, lambda i: i.call("main"))
+    locator = Locator(mb.module)
+    return mb.module, detection, generate_intraprocedural_fixes(
+        detection.bugs, locator
+    )
+
+
+class TestPhase1:
+    def test_missing_flush_fence_fix(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            b.store(1, p)
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        assert detection.bugs[0].kind is BugKind.MISSING_FLUSH_FENCE
+        assert len(fixes) == 1 and isinstance(fixes[0], InsertFlushAndFence)
+
+    def test_missing_flush_fix(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            b.store(1, p)
+            b.fence()
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        assert isinstance(fixes[0], InsertFlush)
+
+    def test_missing_fence_fix(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            b.store(1, p)
+            b.flush(p)
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        assert isinstance(fixes[0], InsertFenceAfterFlush)
+        assert fixes[0].flush.opcode == "flush"
+
+
+class TestPhase2Reduction:
+    def test_duplicate_fixes_merge(self):
+        def build(mb):
+            b = mb.function("setter", [("p", PTR)], I64)
+            b.store(9, b.function.args[0])
+            b.ret(0)
+            b = mb.function("main", [], I64)
+            p1 = b.call("pm_alloc", [64], PTR)
+            p2 = b.call("pm_alloc", [64], PTR)
+            b.call("setter", [p1], I64)
+            b.call("setter", [p2], I64)
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        assert len(fixes) == 2  # two bugs (two call paths)
+        reduced = reduce_fixes(fixes)
+        assert len(reduced) == 1  # one store, one flush covers both
+        assert len(reduced[0].bugs) == 2
+
+    def test_fence_coalescing_same_block(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [256], PTR)
+            b.store(1, p)
+            b.store(2, b.gep(p, 64))
+            b.store(3, b.gep(p, 128))
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        assert len(fixes) == 3
+        reduced = reduce_fixes(fixes)
+        # three flushes, but only the last keeps its fence
+        flush_and_fence = [f for f in reduced if isinstance(f, InsertFlushAndFence)]
+        flush_only = [f for f in reduced if isinstance(f, InsertFlush)]
+        assert len(flush_and_fence) == 1
+        assert len(flush_only) == 2
+        # the surviving fence anchors to the last store in block order
+        block = flush_and_fence[0].store.parent
+        last_index = block.index_of(flush_and_fence[0].store)
+        for fix in flush_only:
+            assert block.index_of(fix.store) < last_index
+
+    def test_no_coalescing_across_boundaries(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [256], PTR)
+            b.store(1, p)
+            b.call("checkpoint", [])
+            b.store(2, b.gep(p, 64))
+            b.ret(0)
+
+        _, detection, fixes = detect_and_fixes(build)
+        reduced = reduce_fixes(fixes)
+        # different boundaries: both keep their fences
+        assert all(isinstance(f, InsertFlushAndFence) for f in reduced)
+
+    def test_flush_subsumed_by_flush_fence(self):
+        from repro.detect import BugKind, BugReport
+
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            b.store(1, p)
+            b.ret(0)
+
+        module, detection, fixes = detect_and_fixes(build)
+        # Manufacture an extra flush-only fix on the same store.
+        extra = InsertFlush(bugs=list(detection.bugs), store=fixes[0].store)
+        reduced = reduce_fixes(fixes + [extra])
+        assert len(reduced) == 1
+        assert isinstance(reduced[0], InsertFlushAndFence)

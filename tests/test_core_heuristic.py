@@ -1,0 +1,147 @@
+"""Unit tests for the hoisting heuristic (phase 3)."""
+
+import math
+
+from repro.analysis import classify_full_aa
+from repro.core import Locator, choose_fix_location, evaluate_candidates
+from repro.detect import pmemcheck_run
+from repro.ir import I64, ModuleBuilder, PTR
+
+from conftest import drive_main
+
+
+def _setup(listing5):
+    module, detection, trace, interp = listing5
+    bug = detection.bugs[0]
+    locator = Locator(module)
+    store = locator.locate_store(bug.store)
+    classifier = classify_full_aa(module)
+    return module, bug, store, locator, classifier
+
+
+class TestListing6Scenario:
+    def test_candidate_scores(self, listing5):
+        module, bug, store, locator, classifier = _setup(listing5)
+        candidates = evaluate_candidates(bug, store, locator, classifier)
+        by_kind = {
+            ("store" if c.is_store else c.instr.callee): c.score
+            for c in candidates
+        }
+        # Listing 6's published scores: store 0, update call site 0,
+        # modify(pm_addr) call site +1.
+        assert by_kind["store"] == 0
+        assert by_kind["update"] == 0
+        assert by_kind["modify"] == 1
+
+    def test_chooses_modify_call_site(self, listing5):
+        module, bug, store, locator, classifier = _setup(listing5)
+        decision = choose_fix_location(bug, store, locator, classifier)
+        assert decision.hoist
+        assert decision.chosen.instr.callee == "modify"
+        assert decision.hoist_depth == 2
+
+
+class TestMinusInfinityRule:
+    def test_parameterless_call_poisons_parents(self):
+        mb = ModuleBuilder("t")
+        table = mb.global_("table", 64, "pm")
+        b = mb.function("bump", [], I64)  # PM via a global: no pointer args
+        b.store(1, b.gep(table, 0))
+        b.ret(0)
+        b = mb.function("outer", [], I64)
+        b.ret(b.call("bump", [], I64))
+        b = mb.function("main", [], I64)
+        b.call("outer", [], I64)
+        b.ret(0)
+        detection, trace, interp = pmemcheck_run(mb.module, drive_main)
+        bug = detection.bugs[0]
+        locator = Locator(mb.module)
+        store = locator.locate_store(bug.store)
+        classifier = classify_full_aa(mb.module)
+        candidates = evaluate_candidates(bug, store, locator, classifier)
+        call_scores = [c.score for c in candidates if not c.is_store]
+        assert all(score == -math.inf for score in call_scores)
+        decision = choose_fix_location(bug, store, locator, classifier)
+        assert not decision.hoist  # falls back to the intraprocedural fix
+
+
+class TestTieBreaking:
+    def test_pure_pm_helper_stays_intraprocedural(self):
+        """set_flag-style leaf used only on PM: scores tie at +1 and
+        the innermost candidate (the store) wins -> intraprocedural."""
+        mb = ModuleBuilder("t")
+        b = mb.function("set_flag", [("obj", PTR)], I64)
+        b.store(7, b.function.args[0])
+        b.ret(0)
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.call("set_flag", [p], I64)
+        b.ret(0)
+        detection, trace, interp = pmemcheck_run(mb.module, drive_main)
+        bug = detection.bugs[0]
+        locator = Locator(mb.module)
+        store = locator.locate_store(bug.store)
+        classifier = classify_full_aa(mb.module)
+        decision = choose_fix_location(bug, store, locator, classifier)
+        assert not decision.hoist
+        assert decision.hoist_depth == 0
+
+
+class TestBoundaryBound:
+    def test_candidates_stop_at_boundary_function(self):
+        """Call sites above the function containing *I* are excluded."""
+        mb = ModuleBuilder("t")
+        b = mb.function("write", [("p", PTR)], I64)
+        b.store(1, b.function.args[0])
+        b.ret(0)
+        b = mb.function("serve", [("p", PTR)], I64)
+        # serve() is the function containing the checkpoint I.
+        b.call("write", [b.function.args[0]], I64)
+        b.call("checkpoint", [])
+        b.ret(0)
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.call("serve", [p], I64)
+        b.ret(0)
+        detection, trace, interp = pmemcheck_run(mb.module, drive_main)
+        bug = detection.bugs[0]
+        locator = Locator(mb.module)
+        store = locator.locate_store(bug.store)
+        classifier = classify_full_aa(mb.module)
+        candidates = evaluate_candidates(bug, store, locator, classifier)
+        callees = [c.instr.callee for c in candidates if not c.is_store]
+        # serve's call site in main is off-limits; write's call site
+        # (inside serve) is allowed.
+        assert callees == ["write"]
+
+    def test_exit_boundary_allows_whole_stack(self, listing5):
+        module, bug, store, locator, classifier = _setup(listing5)
+        candidates = evaluate_candidates(bug, store, locator, classifier)
+        callees = [c.instr.callee for c in candidates if not c.is_store]
+        assert callees == ["foo", "modify", "update"]
+
+
+class TestCallSiteScoring:
+    def test_memcpy_shape_uses_best_pointer_arg(self):
+        """memcpy(pm_dst, vol_src): the PM destination dominates."""
+        mb = ModuleBuilder("t")
+        b = mb.function("copy", [("dst", PTR), ("src", PTR)], I64)
+        b.store(b.load(b.function.args[1]), b.function.args[0])
+        b.ret(0)
+        b = mb.function("main", [], I64)
+        pm = b.call("pm_alloc", [64], PTR)
+        vol = b.call("vol_alloc", [64], PTR)
+        b.call("copy", [vol, vol], I64)  # volatile use
+        b.call("copy", [pm, vol], I64)  # persistent use (buggy)
+        b.ret(0)
+        detection, trace, interp = pmemcheck_run(mb.module, drive_main)
+        bug = detection.bugs[0]
+        locator = Locator(mb.module)
+        store = locator.locate_store(bug.store)
+        classifier = classify_full_aa(mb.module)
+        decision = choose_fix_location(bug, store, locator, classifier)
+        assert decision.hoist
+        assert decision.chosen.instr.callee == "copy"
+        # it picked the PM call site, not the volatile one
+        assert decision.chosen.instr.args[0].type.is_pointer
+        assert classifier.score(decision.chosen.instr.args[0]) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for trace-event -> IR-instruction localization."""
+
+import pytest
+
+from repro.core import Locator
+from repro.detect import pmemcheck_run
+from repro.errors import LocateError
+from repro.ir import Store, format_module, parse_module
+
+from conftest import build_listing5_module, drive_main
+
+
+def test_locate_by_iid(listing5):
+    module, detection, _, _ = listing5
+    locator = Locator(module)
+    store = locator.locate_store(detection.bugs[0].store)
+    assert isinstance(store, Store)
+    assert store.function.name == "update"
+
+
+def test_locate_call_sites(listing5):
+    module, detection, _, _ = listing5
+    locator = Locator(module)
+    bug = detection.bugs[0]
+    frames = bug.store.caller_frames
+    calls = [locator.locate_call_site(f) for f in frames]
+    assert [c.callee for c in calls] == ["foo", "modify", "update"]
+
+
+def test_locate_survives_module_reparse():
+    """The paper's real scenario: the trace comes from one build, the
+    fixes are applied to a re-parsed module whose instruction ids
+    differ — localization falls back to (function, source line)."""
+    module = build_listing5_module()
+    detection, trace, _ = pmemcheck_run(module, drive_main)
+    rebuilt = parse_module(format_module(module))
+    locator = Locator(rebuilt)
+    store = locator.locate_store(detection.bugs[0].store)
+    assert store.function.name == "update"
+    assert store.loc == detection.bugs[0].store.loc
+    # iid differs but localization still succeeded
+    assert store.iid != detection.bugs[0].store.iid
+
+
+def test_locate_host_frame_returns_none(listing5):
+    module, _, trace, _ = listing5
+    locator = Locator(module)
+    exit_boundary = trace.boundaries()[-1]
+    assert locator.locate_call_site(exit_boundary.stack[0]) is None
+
+
+def test_locate_missing_raises(listing5):
+    module, detection, _, _ = listing5
+    locator = Locator(module)
+    bogus = detection.bugs[0].flush  # None: missing-flush bug has no flush
+    assert bogus is None
+    from repro.trace import StackFrame
+    from repro.ir import DebugLoc
+
+    with pytest.raises(LocateError):
+        locator._resolve("nowhere", DebugLoc("x.c", 1), 0, Store)

@@ -1,0 +1,185 @@
+"""Unit tests for function cloning and the persistent subprogram
+transformation."""
+
+from repro.analysis import classify_full_aa
+from repro.core import PM_SUFFIX, SubprogramTransformer, clone_function
+from repro.detect import pmemcheck_run
+from repro.interp import Interpreter
+from repro.ir import (
+    Fence,
+    Flush,
+    I64,
+    ModuleBuilder,
+    PTR,
+    Store,
+    verify_module,
+)
+
+from conftest import build_listing5_module, drive_main
+
+
+class TestCloneFunction:
+    def test_clone_is_structurally_identical(self):
+        module = build_listing5_module()
+        original = module.get_function("foo")
+        clone, instr_map = clone_function(original, "foo_copy")
+        assert clone.instruction_count() == original.instruction_count()
+        assert len(clone.blocks) == len(original.blocks)
+        assert clone.cloned_from == "foo"
+        assert [a.type for a in clone.args] == [a.type for a in original.args]
+        # iids are fresh, locations preserved
+        for old, new in instr_map.items():
+            assert old.iid != new.iid
+            assert old.loc == new.loc
+
+    def test_clone_executes_identically(self):
+        module = build_listing5_module()
+        clone, _ = clone_function(module.get_function("update"), "update_copy")
+        module.insert_function(clone)
+        verify_module(module)
+        interp = Interpreter(module)
+        p = interp.machine.space.alloc_vol(64)
+        interp.call("update", [p, 0, 77])
+        original_value = interp.machine.space.read_int(p, 1)
+        q = interp.machine.space.alloc_vol(64)
+        interp.call("update_copy", [q, 0, 77])
+        assert interp.machine.space.read_int(q, 1) == original_value
+
+
+class TestTransformation:
+    def setup_transformed(self):
+        module = build_listing5_module()
+        _, trace, interp = pmemcheck_run(module, drive_main)
+        classifier = classify_full_aa(module)
+        transformer = SubprogramTransformer(module, classifier)
+        foo = module.get_function("foo")
+        pm_call = [c for c in foo.calls() if c.callee == "modify"][-1]
+        transformer.transform_call_site(pm_call)
+        return module, transformer, pm_call
+
+    def test_clone_chain_created(self):
+        module, transformer, call = self.setup_transformed()
+        assert call.callee == "modify" + PM_SUFFIX
+        assert module.has_function("modify_PM")
+        assert module.has_function("update_PM")
+        verify_module(module)
+
+    def test_clone_has_flushes_after_pm_stores(self):
+        module, transformer, _ = self.setup_transformed()
+        update_pm = module.get_function("update_PM")
+        ops = [i.opcode for i in update_pm.instructions()]
+        store_index = ops.index("store")
+        assert ops[store_index + 1] == "flush"
+        # the original is untouched
+        assert "flush" not in [i.opcode for i in module.get_function("update").instructions()]
+
+    def test_fence_after_call_site_unless_present(self):
+        module = build_listing5_module()
+        classifier = classify_full_aa(module)
+        transformer = SubprogramTransformer(module, classifier)
+        foo = module.get_function("foo")
+        pm_call = [c for c in foo.calls() if c.callee == "modify"][-1]
+        # Listing 5's foo already has a fence right after the call.
+        _, fence = transformer.transform_call_site(pm_call)
+        assert fence is None
+
+    def test_fence_inserted_when_absent(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("w", [("p", PTR)], I64)
+        b.store(1, b.function.args[0])
+        b.ret(0)
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        call = b.call("w", [p], I64)
+        b.ret(0)
+        classifier = classify_full_aa(mb.module)
+        transformer = SubprogramTransformer(mb.module, classifier)
+        _, fence = transformer.transform_call_site(call)
+        assert isinstance(fence, Fence)
+        block = call.parent
+        assert block.instructions[block.index_of(call) + 1] is fence
+        verify_module(mb.module)
+
+    def test_clone_reuse_across_call_sites(self):
+        """The paper's permute example: a second transformation reuses
+        update_PM instead of minting update_PM_2 (code-bloat control)."""
+        mb = ModuleBuilder("t")
+        b = mb.function("update", [("p", PTR)], I64)
+        b.store(1, b.function.args[0])
+        b.ret(0)
+        b = mb.function("modify", [("p", PTR)], I64)
+        b.ret(b.call("update", [b.function.args[0]], I64))
+        b = mb.function("permute", [("p", PTR)], I64)
+        b.ret(b.call("update", [b.function.args[0]], I64))
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        c1 = b.call("modify", [p], I64)
+        c2 = b.call("permute", [p], I64)
+        b.ret(0)
+        classifier = classify_full_aa(mb.module)
+        transformer = SubprogramTransformer(mb.module, classifier)
+        main = mb.module.get_function("main")
+        for call in [c for c in main.calls() if c.callee in ("modify", "permute")]:
+            transformer.transform_call_site(call)
+        assert mb.module.has_function("update_PM")
+        assert not mb.module.has_function("update_PM2")
+        modify_pm = mb.module.get_function("modify_PM")
+        permute_pm = mb.module.get_function("permute_PM")
+        assert [c.callee for c in modify_pm.calls()] == ["update_PM"]
+        assert [c.callee for c in permute_pm.calls()] == ["update_PM"]
+        verify_module(mb.module)
+
+    def test_transform_idempotent(self):
+        module = build_listing5_module()
+        classifier = classify_full_aa(module)
+        transformer = SubprogramTransformer(module, classifier)
+        foo = module.get_function("foo")
+        pm_call = [c for c in foo.calls() if c.callee == "modify"][-1]
+        transformer.transform_call_site(pm_call)
+        size_after_first = module.instruction_count()
+        transformer.transform_call_site(pm_call)
+        assert module.instruction_count() == size_after_first
+
+    def test_recursive_functions_clone_safely(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("rec", [("p", PTR), ("n", I64)], I64)
+        base = b.new_block("base")
+        step = b.new_block("step")
+        b.br(b.icmp("eq", b.function.args[1], 0), base, step)
+        b.position_at_end(base)
+        b.ret(0)
+        b.position_at_end(step)
+        b.store(b.function.args[1], b.function.args[0])
+        v = b.call("rec", [b.function.args[0], b.sub(b.function.args[1], 1)], I64)
+        b.ret(v)
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        call = b.call("rec", [p, 3], I64)
+        b.ret(0)
+        classifier = classify_full_aa(mb.module)
+        transformer = SubprogramTransformer(mb.module, classifier)
+        transformer.transform_call_site(call)
+        rec_pm = mb.module.get_function("rec_PM")
+        # the clone's recursive call targets the clone, not the original
+        assert [c.callee for c in rec_pm.calls()] == ["rec_PM"]
+        verify_module(mb.module)
+
+    def test_volatile_only_callees_not_cloned(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("pure", [("x", I64)], I64)
+        b.ret(b.mul(b.function.args[0], 3))
+        b = mb.function("w", [("p", PTR)], I64)
+        v = b.call("pure", [5], I64)
+        b.store(v, b.function.args[0])
+        b.ret(0)
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        call = b.call("w", [p], I64)
+        b.ret(0)
+        classifier = classify_full_aa(mb.module)
+        transformer = SubprogramTransformer(mb.module, classifier)
+        transformer.transform_call_site(call)
+        w_pm = mb.module.get_function("w_PM")
+        # pure has no PM stores: the clone still calls the original
+        assert [c.callee for c in w_pm.calls()] == ["pure"]
+        assert not mb.module.has_function("pure_PM")

@@ -1,0 +1,73 @@
+"""Unit tests for post-fix validation ("do no harm")."""
+
+import pytest
+
+from repro.core import (
+    Hippocrates,
+    assert_fixed,
+    do_no_harm,
+    observable_behavior,
+    revalidate,
+)
+from repro.detect import pmemcheck_run
+from repro.errors import ValidationError
+from repro.ir import I64, ModuleBuilder, PTR
+
+from conftest import build_listing5_module, drive_main
+
+
+def emitting_module():
+    """A buggy module with observable output."""
+    mb = ModuleBuilder("t")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    b.store(41, p)
+    loaded = b.load(p)
+    b.call("emit", [b.add(loaded, 1)])
+    b.ret(0)
+    return mb.module
+
+
+def test_revalidate_reports_remaining_bugs():
+    module = emitting_module()
+    assert revalidate(module, drive_main).bug_count == 1
+    with pytest.raises(ValidationError):
+        assert_fixed(module, drive_main)
+
+
+def test_assert_fixed_after_repair():
+    module = emitting_module()
+    _, trace, interp = pmemcheck_run(module, drive_main)
+    Hippocrates(module, trace, interp.machine).fix()
+    assert_fixed(module, drive_main)  # no exception
+
+
+def test_observable_behavior():
+    assert observable_behavior(emitting_module(), drive_main) == [42]
+
+
+def test_do_no_harm_holds_for_hippocrates_fixes():
+    original = emitting_module()
+    fixed = emitting_module()
+    _, trace, interp = pmemcheck_run(fixed, drive_main)
+    Hippocrates(fixed, trace, interp.machine).fix()
+    before, after = do_no_harm(original, fixed, drive_main)
+    assert before == after == [42]
+
+
+def test_do_no_harm_catches_behavior_change():
+    original = emitting_module()
+    broken = ModuleBuilder("t")
+    b = broken.function("main", [], I64)
+    b.call("emit", [999])
+    b.ret(0)
+    with pytest.raises(ValidationError):
+        do_no_harm(original, broken.module, drive_main)
+
+
+def test_do_no_harm_on_listing5():
+    original = build_listing5_module()
+    fixed = build_listing5_module()
+    _, trace, interp = pmemcheck_run(fixed, drive_main)
+    Hippocrates(fixed, trace, interp.machine).fix()
+    do_no_harm(original, fixed, drive_main)

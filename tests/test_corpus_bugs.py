@@ -1,0 +1,92 @@
+"""Integration tests over the 23-bug corpus (the §6.1 result).
+
+These are the heart of the effectiveness claim: every case's bugs are
+found by the detector, fixed by Hippocrates, and the fixed module is
+revalidated clean — plus the Fig. 3 accuracy split is checked exactly.
+"""
+
+import pytest
+
+from repro.bench import run_case
+from repro.corpus import (
+    EQUIVALENT_PORTABLE,
+    IDENTICAL,
+    all_cases,
+    compare_fix_kinds,
+    memcached_case,
+    pclht_case,
+    pmdk_cases,
+    total_expected_bugs,
+)
+from repro.corpus.bugs import (
+    INTERPROC_FLUSH,
+    INTERPROC_FLUSH_FENCE,
+    INTRAPROC_FLUSH,
+    classify_fix,
+)
+from repro.core.fixes import HoistedFix, InsertFlush
+
+
+def test_case_inventory():
+    cases = all_cases()
+    assert len(cases) == 13  # 11 PMDK + P-CLHT + memcached-pm
+    assert total_expected_bugs() == 23
+    assert sum(c.expected_reports for c in pmdk_cases()) >= 11
+    assert pclht_case().expected_reports == 2
+    assert memcached_case().expected_reports == 10
+
+
+@pytest.mark.parametrize("case", all_cases(), ids=lambda c: c.case_id)
+def test_detect_fix_revalidate(case):
+    outcome = run_case(case)
+    assert outcome.reports_found == case.expected_reports, (
+        f"{case.case_id}: found {outcome.reports_found}"
+    )
+    assert outcome.reports_after_fix == 0, f"{case.case_id} not fully fixed"
+    assert outcome.fixed
+
+
+@pytest.mark.parametrize("case", pmdk_cases(), ids=lambda c: c.case_id)
+def test_fig3_fix_kind_matches_expectation(case):
+    outcome = run_case(case)
+    assert case.expected_hippocrates_fix in outcome.fix_kinds
+
+
+def test_fig3_split_is_8_identical_3_equivalent():
+    identical = equivalent = 0
+    for case in pmdk_cases():
+        outcome = run_case(case)
+        if outcome.comparison == IDENTICAL:
+            identical += 1
+        elif outcome.comparison == EQUIVALENT_PORTABLE:
+            equivalent += 1
+    assert identical == 8
+    assert equivalent == 3
+
+
+def test_compare_fix_kinds_vocabulary():
+    assert compare_fix_kinds(INTERPROC_FLUSH_FENCE, INTERPROC_FLUSH_FENCE) == IDENTICAL
+    assert (
+        compare_fix_kinds(INTRAPROC_FLUSH, INTERPROC_FLUSH) == EQUIVALENT_PORTABLE
+    )
+    assert "different" in compare_fix_kinds(INTRAPROC_FLUSH, INTERPROC_FLUSH_FENCE)
+
+
+def test_classify_fix_rejects_unknown():
+    with pytest.raises(ValueError):
+        classify_fix(object())
+
+
+def test_intraproc_cases_use_plain_flush():
+    """452/940/943: the paper's 3 'equivalent but dev more portable'."""
+    for issue in (452, 940, 943):
+        case = [c for c in pmdk_cases() if c.case_id == f"PMDK-{issue}"][0]
+        outcome = run_case(case)
+        assert outcome.fix_kinds == [INTRAPROC_FLUSH]
+
+
+def test_heuristic_off_still_fixes_everything():
+    for case in all_cases():
+        outcome = run_case(case, heuristic="off")
+        assert outcome.reports_after_fix == 0
+        assert outcome.fix_report.interprocedural_count == 0

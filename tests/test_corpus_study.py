@@ -1,0 +1,63 @@
+"""Unit tests for the Fig. 1 bug-study dataset."""
+
+from repro.corpus import (
+    API_MISUSE,
+    CORE_LIBRARY,
+    REPRODUCED_ISSUES,
+    STUDY,
+    fig1_table,
+    group_stats,
+    overall_stats,
+    records_with_stats,
+)
+
+
+def test_twenty_six_bugs():
+    assert len(STUDY) == 26
+
+
+def test_category_split():
+    core = [r for r in STUDY if r.category == CORE_LIBRARY]
+    misuse = [r for r in STUDY if r.category == API_MISUSE]
+    assert len(core) == 17
+    assert len(misuse) == 9
+
+
+def test_core_group_aggregates_match_paper():
+    stats = group_stats(CORE_LIBRARY)
+    assert stats == {"count": 14, "avg_commits": 17, "avg_days": 33, "max_days": 66}
+
+
+def test_misuse_group_aggregates_match_paper():
+    stats = group_stats(API_MISUSE)
+    assert stats == {"count": 5, "avg_commits": 2, "avg_days": 15, "max_days": 38}
+
+
+def test_overall_row_matches_paper():
+    stats = overall_stats()
+    assert stats["avg_commits"] == 13
+    assert stats["avg_days"] == 28
+    assert stats["max_days"] == 66
+
+
+def test_eleven_reproduced():
+    assert len(REPRODUCED_ISSUES) == 11
+    reproduced = [r for r in STUDY if r.reproduced]
+    assert len(reproduced) == 11
+
+
+def test_stats_only_where_recorded():
+    for record in STUDY:
+        assert (record.commits is None) == (record.days is None)
+    assert len(records_with_stats()) == 19
+
+
+def test_issue_numbers_unique():
+    issues = [r.issue for r in STUDY]
+    assert len(set(issues)) == len(issues)
+
+
+def test_fig1_table_renders():
+    table = fig1_table()
+    for fragment in ("Fig. 1", "17", "33", "66", "Average", "13", "28"):
+        assert fragment in table

@@ -1,0 +1,84 @@
+"""Unit tests for the PMTest-style assertion checker."""
+
+from repro.detect import check_trace, check_trace_pmtest
+from repro.detect.pmtest import assertion_labels, check_assertions
+from repro.interp import Interpreter
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def run(build):
+    mb = ModuleBuilder("t")
+    build(mb)
+    interp = Interpreter(mb.module)
+    interp.call("main")
+    return interp.finish()
+
+
+def test_satisfied_assertion():
+    def build(mb):
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(1, p)
+        b.flush(p)
+        b.fence()
+        b.call("pmtest_assert_persisted", [p, 8])
+        b.ret(0)
+
+    trace = run(build)
+    assert check_assertions(trace).bug_count == 0
+
+
+def test_violated_assertion():
+    def build(mb):
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(1, p)
+        b.call("pmtest_assert_persisted", [p, 8])
+        b.ret(0)
+
+    trace = run(build)
+    result = check_assertions(trace)
+    assert result.bug_count == 1
+
+
+def test_assertion_scoped_to_range():
+    def build(mb):
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [256], PTR)
+        b.store(1, p)  # unflushed, but outside the asserted range
+        other = b.gep(p, 128)
+        b.store(2, other)
+        b.flush(other)
+        b.fence()
+        b.call("pmtest_assert_persisted", [other, 8])
+        b.ret(0)
+
+    trace = run(build)
+    # PMTest only checks its assertion: the unrelated dirty store at p
+    # is not flagged (no annotation covers it)...
+    assert check_assertions(trace).bug_count == 0
+    # ...whereas pmemcheck catches it at exit.
+    assert check_trace(trace).bug_count == 1
+
+
+def test_pmtest_ignores_exit_boundary():
+    def build(mb):
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(1, p)
+        b.ret(0)
+
+    trace = run(build)
+    assert check_trace_pmtest(trace).bug_count == 0
+
+
+def test_assertion_labels():
+    def build(mb):
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.call("pmtest_assert_persisted", [p, 16])
+        b.call("pmtest_assert_persisted", [p, 32])
+        b.ret(0)
+
+    labels = assertion_labels(run(build))
+    assert len(labels) == 2 and all(l.startswith("pmtest:") for l in labels)

@@ -1,0 +1,116 @@
+"""Whole-pipeline integration tests: the paper's Fig. 2 flow end to end
+on a real application, including crash-consistency before/after.
+"""
+
+from repro.apps import KVStore, build_kvstore
+from repro.bench import redis_trace_workload
+from repro.core import Hippocrates, do_no_harm
+from repro.detect import check_trace, pmemcheck_run
+from repro.ir import format_module, parse_module, verify_module
+from repro.memory import CrashExplorer
+from repro.trace import dump_trace, load_trace
+
+
+def test_full_pipeline_on_kvstore():
+    """noflush KV store -> trace -> text log -> Hippocrates -> clean."""
+    module = build_kvstore("noflush")
+    kv = KVStore(module)
+    redis_trace_workload(kv)
+    trace = kv.finish()
+    detection = check_trace(trace)
+    assert detection.bug_count > 0
+
+    # Step 1 exactly as in the paper: go through the text log.
+    log_text = dump_trace(trace)
+    fixer = Hippocrates(module, log_text, kv.machine, heuristic="full")
+    report = fixer.fix()
+    verify_module(module)
+    assert report.bugs_fixed == detection.bug_count
+    assert report.interprocedural_count >= 1
+    assert any(name.endswith("_PM") for name in module.functions)
+
+    kv2 = KVStore(module)
+    redis_trace_workload(kv2)
+    assert check_trace(kv2.finish()).bug_count == 0
+
+
+def test_do_no_harm_on_kvstore():
+    def behavior_driver(interp):
+        kv = KVStore(interp.module, interp)
+        kv.init(32, 1 << 20)
+        kv.put(b"alpha", b"A" * 20)
+        kv.put(b"beta", b"B" * 20)
+        kv.put(b"alpha", b"C" * 20)
+        kv.delete(b"beta")
+        value = kv.get(b"alpha")
+        interp.output.extend(value)
+
+    original = build_kvstore("noflush")
+    fixed = build_kvstore("noflush")
+    kv = KVStore(fixed)
+    redis_trace_workload(kv)
+    Hippocrates(fixed, kv.finish(), kv.machine).fix()
+    before, after = do_no_harm(original, fixed, behavior_driver)
+    assert bytes(after[:20]) == b"C" * 20
+
+
+def test_crash_consistency_restored_by_fixes():
+    """Before fixing: an adversarial crash loses a completed put.
+    After fixing: every reachable crash state contains it."""
+
+    def one_put(module):
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        kv.put(b"crash-key-01", b"crash-val-01-xyz")
+        return kv
+
+    buggy = build_kvstore("noflush")
+    kv = one_put(buggy)
+    assert b"crash-val-01-xyz" not in kv.machine.image.snapshot_durable()
+
+    fixed = build_kvstore("noflush")
+    trace_kv = KVStore(fixed)
+    redis_trace_workload(trace_kv)
+    Hippocrates(fixed, trace_kv.finish(), trace_kv.machine).fix()
+    kv = one_put(fixed)
+    explorer = CrashExplorer(kv.machine.cache, kv.machine.image)
+    assert explorer.all_consistent(
+        lambda state: b"crash-val-01-xyz" in state.image, max_states=64
+    )
+
+
+def test_pipeline_through_serialized_module_and_trace():
+    """Everything can round-trip through text: the module as textual IR
+    and the trace as a pmemcheck log (build-server workflow)."""
+    module = build_kvstore("noflush")
+    kv = KVStore(module)
+    redis_trace_workload(kv)
+    trace_text = dump_trace(kv.finish())
+
+    shipped = parse_module(format_module(module))
+    report = Hippocrates(shipped, load_trace(trace_text), heuristic="full").fix()
+    assert report.bugs_fixed > 0
+    kv2 = KVStore(shipped)
+    redis_trace_workload(kv2)
+    assert check_trace(kv2.finish()).bug_count == 0
+
+
+def test_intra_and_full_behave_identically():
+    """RedisH-intra and RedisH-full differ only in cost, not behavior."""
+
+    def build_fixed(heuristic):
+        module = build_kvstore("noflush")
+        kv = KVStore(module)
+        redis_trace_workload(kv)
+        Hippocrates(module, kv.finish(), kv.machine, heuristic=heuristic).fix()
+        return module
+
+    def run(module):
+        kv = KVStore(module)
+        kv.init(32, 1 << 20)
+        for i in range(15):
+            kv.put(f"key{i:03d}".encode(), f"value{i:03d}".encode() * 2)
+        kv.delete(b"key004")
+        return [kv.get(f"key{i:03d}".encode()) for i in range(15)], kv.count()
+
+    assert run(build_fixed("full")) == run(build_fixed("off"))

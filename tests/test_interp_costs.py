@@ -1,0 +1,96 @@
+"""Unit tests for the cycle-cost model."""
+
+from repro.interp import CostModel, Interpreter
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def build_flushy():
+    mb = ModuleBuilder("t")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [128], PTR)
+    b.store(1, p)
+    b.flush(p)            # writeback (full cost)
+    b.flush(p)            # coalesced (cheap)
+    b.fence()
+    b.flush(p)            # redundant (cheap)
+    v = b.call("vol_alloc", [64], PTR)
+    b.store(1, v)
+    b.flush(v)            # volatile (full cost, no WPQ)
+    b.ret(0)
+    return mb.module
+
+
+def test_flush_cost_tiers():
+    model = CostModel()
+    interp = Interpreter(build_flushy(), cost_model=model)
+    interp.call("main")
+    counts = interp.costs.counts
+    assert counts["flush"] == 4
+    # 2 full-cost flushes (PM writeback + volatile), 2 cheap ones.
+    flush_cycles = 2 * model.flush + 2 * model.flush_clean
+    # Verify by recomputing total minus everything else is consistent:
+    # instead check the machine's categorization directly.
+    assert interp.machine.volatile_flushes == 1
+    assert interp.machine.cache.clean_flush_count == 1  # the redundant one
+    assert flush_cycles <= interp.costs.cycles
+
+
+def test_pm_store_premium():
+    model = CostModel()
+
+    def module(space):
+        mb = ModuleBuilder("t")
+        b = mb.function("main", [], I64)
+        p = b.call(f"{space}_alloc", [64], PTR)
+        b.store(1, p)
+        b.ret(0)
+        return mb.module
+
+    pm = Interpreter(module("pm"), cost_model=model)
+    pm.call("main")
+    vol = Interpreter(module("vol"), cost_model=model)
+    vol.call("main")
+    assert pm.costs.cycles - vol.costs.cycles == model.pm_store_extra
+
+
+def test_fence_per_line_cost():
+    model = CostModel()
+    mb = ModuleBuilder("t")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [256], PTR)
+    for i in range(3):
+        target = b.gep(p, i * 64)
+        b.store(1, target)
+        b.flush(target)
+    b.fence()
+    b.ret(0)
+    interp = Interpreter(mb.module, cost_model=model)
+    interp.call("main")
+    # The fence drained 3 lines.
+    assert interp.machine.image.writebacks == 3
+
+
+def test_custom_cost_model_respected():
+    model = CostModel(flush=1000)
+    mb = ModuleBuilder("t")
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    b.store(1, p)
+    b.flush(p)
+    b.ret(0)
+    interp = Interpreter(mb.module, cost_model=model)
+    interp.call("main")
+    assert interp.costs.cycles >= 1000
+
+
+def test_counts_summary():
+    interp = Interpreter(build_flushy())
+    interp.call("main")
+    summary = interp.costs.summary()
+    assert summary["cycles"] == interp.costs.cycles
+    assert summary["flush"] == 4
+
+
+def test_cost_model_as_dict():
+    d = CostModel().as_dict()
+    assert d["flush"] == 60 and "flush_clean" in d and "fence_per_line" in d

@@ -1,0 +1,228 @@
+"""Unit tests for IR execution semantics."""
+
+import pytest
+
+from repro.errors import FuelExhausted, InterpreterError, TrapError
+from repro.interp import Interpreter, run_module
+from repro.ir import I1, I8, I64, ModuleBuilder, PTR
+
+
+def run_main(build, args=None, **kwargs):
+    mb = ModuleBuilder("t")
+    build(mb)
+    result, trace, machine = run_module(mb.module, "main", args, **kwargs)
+    return result
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, (3 - 4) & ((1 << 64) - 1)),
+            ("mul", 5, 6, 30),
+            ("udiv", 17, 5, 3),
+            ("urem", 17, 5, 2),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 5, 32),
+            ("lshr", 32, 5, 1),
+        ],
+    )
+    def test_binops(self, op, a, b, expected):
+        def build(mb):
+            builder = mb.function("main", [], I64)
+            builder.ret(builder.binop(op, a, b))
+
+        assert run_main(build).value == expected
+
+    def test_division_by_zero_traps(self):
+        def build(mb):
+            builder = mb.function("main", [], I64)
+            builder.ret(builder.udiv(1, 0))
+
+        with pytest.raises(TrapError):
+            run_main(build)
+
+    def test_narrow_type_wraps(self):
+        def build(mb):
+            builder = mb.function("main", [], I64)
+            wide = builder.binop("add", builder._value(250, I8), builder._value(10, I8))
+            builder.ret(builder.cast("zext", wide, I64))
+
+        assert run_main(build).value == (250 + 10) & 0xFF
+
+    @pytest.mark.parametrize(
+        "pred,a,b,expected",
+        [("eq", 3, 3, 1), ("ne", 3, 3, 0), ("ult", 2, 3, 1),
+         ("ule", 3, 3, 1), ("ugt", 4, 3, 1), ("uge", 2, 3, 0)],
+    )
+    def test_icmp(self, pred, a, b, expected):
+        def build(mb):
+            builder = mb.function("main", [], I64)
+            cmp = builder.icmp(pred, a, b)
+            builder.ret(builder.cast("zext", cmp, I64))
+
+        assert run_main(build).value == expected
+
+
+class TestControlFlow:
+    def test_branch_and_loop(self):
+        def build(mb):
+            b = mb.function("main", [("n", I64)], I64)
+            acc = b.alloca(8)
+            i = b.alloca(8)
+            b.store(0, acc)
+            b.store(0, i)
+            cond = b.new_block("cond")
+            body = b.new_block("body")
+            done = b.new_block("done")
+            b.jmp(cond)
+            b.position_at_end(cond)
+            iv = b.load(i)
+            b.br(b.icmp("ult", iv, b.function.args[0]), body, done)
+            b.position_at_end(body)
+            b.store(b.add(b.load(acc), b.load(i)), acc)
+            b.store(b.add(b.load(i), 1), i)
+            b.jmp(cond)
+            b.position_at_end(done)
+            b.ret(b.load(acc))
+
+        assert run_main(build, [10]).value == sum(range(10))
+
+    def test_select(self):
+        def build(mb):
+            b = mb.function("main", [("c", I64)], I64)
+            cond = b.icmp("ne", b.function.args[0], 0)
+            b.ret(b.select(cond, 111, 222))
+
+        assert run_main(build, [1]).value == 111
+        assert run_main(build, [0]).value == 222
+
+    def test_trap_instruction(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.trap()
+
+        with pytest.raises(TrapError):
+            run_main(build)
+
+
+class TestCalls:
+    def test_call_and_return(self):
+        def build(mb):
+            b = mb.function("double", [("x", I64)], I64)
+            b.ret(b.mul(b.function.args[0], 2))
+            b = mb.function("main", [], I64)
+            b.ret(b.call("double", [21], I64))
+
+        assert run_main(build).value == 42
+
+    def test_recursion(self):
+        def build(mb):
+            b = mb.function("fact", [("n", I64)], I64)
+            base = b.new_block("base")
+            rec = b.new_block("rec")
+            b.br(b.icmp("ule", b.function.args[0], 1), base, rec)
+            b.position_at_end(base)
+            b.ret(1)
+            b.position_at_end(rec)
+            sub = b.call("fact", [b.sub(b.function.args[0], 1)], I64)
+            b.ret(b.mul(b.function.args[0], sub))
+            b = mb.function("main", [], I64)
+            b.ret(b.call("fact", [6], I64))
+
+        assert run_main(build).value == 720
+
+    def test_stack_overflow(self):
+        def build(mb):
+            b = mb.function("loop", [], I64)
+            b.ret(b.call("loop", [], I64))
+            b = mb.function("main", [], I64)
+            b.ret(b.call("loop", [], I64))
+
+        with pytest.raises(InterpreterError, match="stack overflow"):
+            run_main(build)
+
+    def test_unknown_callee(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.ret(b.call("no_such_fn", [], I64))
+
+        with pytest.raises(InterpreterError, match="unknown function"):
+            run_main(build)
+
+    def test_arity_checked(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("main", [("x", I64)], I64)
+        b.ret(b.function.args[0])
+        interp = Interpreter(mb.module)
+        with pytest.raises(InterpreterError, match="expects 1 args"):
+            interp.call("main", [])
+
+
+class TestMemorySemantics:
+    def test_alloca_store_load(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            slot = b.alloca(8)
+            b.store(1234, slot)
+            b.ret(b.load(slot))
+
+        assert run_main(build).value == 1234
+
+    def test_alloca_released_on_return(self):
+        def build(mb):
+            b = mb.function("leaf", [], PTR)
+            b.ret(b.alloca(64))
+            b = mb.function("main", [], I64)
+            p1 = b.call("leaf", [], PTR)
+            p2 = b.call("leaf", [], PTR)
+            same = b.icmp("eq", b.cast("ptrtoint", p1, I64), b.cast("ptrtoint", p2, I64))
+            b.ret(b.cast("zext", same, I64))
+
+        assert run_main(build).value == 1  # frames reuse the stack region
+
+    def test_byte_granular_store(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            slot = b.alloca(8)
+            b.store(0, slot)
+            b.store(0xAB, b.gep(slot, 1), I8)
+            b.ret(b.load(slot))
+
+        assert run_main(build).value == 0xAB00
+
+    def test_global_access(self):
+        def build(mb):
+            mb.global_("g", 8, "vol", (1000).to_bytes(8, "little"))
+            b = mb.function("main", [], I64)
+            g = mb.module.get_global("g")
+            value = b.load(g)
+            b.store(b.add(value, 1), g)
+            b.ret(b.load(g))
+
+        assert run_main(build).value == 1001
+
+
+class TestFuelAndCost:
+    def test_fuel_exhaustion(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            loop = b.new_block("loop")
+            b.jmp(loop)
+            b.position_at_end(loop)
+            b.jmp(loop)
+
+        mb = ModuleBuilder("t")
+        build(mb)
+        with pytest.raises(FuelExhausted):
+            run_module(mb.module, "main", fuel=1000)
+
+    def test_cycles_accumulate(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.ret(b.add(1, 2))
+
+        assert run_main(build).cycles > 0

@@ -1,0 +1,168 @@
+"""Unit tests for interpreter intrinsics and the Machine registry."""
+
+import pytest
+
+from repro.errors import InterpreterError, TrapError
+from repro.interp import Interpreter, SimulatedCrash, intrinsic_names, is_intrinsic
+from repro.ir import I64, ModuleBuilder, PTR
+
+
+def interp_for(build):
+    mb = ModuleBuilder("t")
+    build(mb)
+    return Interpreter(mb.module)
+
+
+class TestAllocation:
+    def test_pm_alloc_returns_pm_address(self):
+        def build(mb):
+            b = mb.function("main", [], PTR)
+            b.ret(b.call("pm_alloc", [64], PTR))
+
+        interp = interp_for(build)
+        addr = interp.call("main").value
+        assert interp.machine.space.is_pm(addr)
+
+    def test_vol_alloc_returns_volatile_address(self):
+        def build(mb):
+            b = mb.function("main", [], PTR)
+            b.ret(b.call("vol_alloc", [64], PTR))
+
+        interp = interp_for(build)
+        addr = interp.call("main").value
+        assert not interp.machine.space.is_pm(addr)
+
+    def test_allocation_registry_records_sites(self):
+        def build(mb):
+            b = mb.function("main", [], PTR)
+            b.ret(b.call("pm_alloc", [64], PTR))
+
+        interp = interp_for(build)
+        addr = interp.call("main").value
+        site = interp.machine.site_of_addr(addr)
+        assert site is not None and site.startswith("call:")
+        assert interp.machine.site_of_addr(addr + 63) == site
+        assert interp.machine.site_of_addr(addr + 64) != site
+
+    def test_pm_root_idempotent(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            r1 = b.call("pm_root", [128], PTR)
+            r2 = b.call("pm_root", [128], PTR)
+            same = b.icmp("eq", r1, r2)
+            b.ret(b.cast("zext", same, I64))
+
+        assert interp_for(build).call("main").value == 1
+
+    def test_pm_root_regrow_rejected(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.call("pm_root", [64], PTR)
+            b.call("pm_root", [128], PTR)
+            b.ret(0)
+
+        with pytest.raises(InterpreterError, match="pm_root"):
+            interp_for(build).call("main")
+
+
+class TestObservability:
+    def test_emit_collects_output(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.call("emit", [11])
+            b.call("emit", [22])
+            b.ret(0)
+
+        interp = interp_for(build)
+        result = interp.call("main")
+        assert result.output == [11, 22]
+        assert interp.output == [11, 22]
+
+    def test_require_passes_and_fails(self):
+        def build(mb):
+            b = mb.function("main", [("x", I64)], I64)
+            b.call("require", [b.function.args[0]])
+            b.ret(1)
+
+        interp = interp_for(build)
+        assert interp.call("main", [5]).value == 1
+        with pytest.raises(TrapError):
+            interp.call("main", [0])
+
+    def test_crash_now(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            b.store(9, p)
+            b.call("crash_now", [])
+            b.ret(0)
+
+        interp = interp_for(build)
+        with pytest.raises(SimulatedCrash):
+            interp.call("main")
+        # the store never became durable
+        assert interp.machine.image.line_divergence() != []
+        # and the crash recorded a boundary event
+        assert interp.machine.trace.boundaries()[-1].label == "crash"
+
+    def test_fnv1a64_matches_reference(self):
+        def build(mb):
+            mb.global_("data", 8, "vol", b"abcdefgh")
+            b = mb.function("main", [], I64)
+            b.ret(b.call("fnv1a64", [mb.module.get_global("data"), 8], I64))
+
+        reference = 0xCBF29CE484222325
+        for byte in b"abcdefgh":
+            reference = ((reference ^ byte) * 0x100000001B3) & ((1 << 64) - 1)
+        assert interp_for(build).call("main").value == reference
+
+
+class TestCheckpointAndPMTest:
+    def test_checkpoint_records_boundary(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.call("checkpoint", [7])
+            b.ret(0)
+
+        interp = interp_for(build)
+        interp.call("main")
+        trace = interp.finish()
+        labels = [e.label for e in trace.boundaries()]
+        assert labels == ["ckpt7", "exit"]
+
+    def test_pmtest_assertion_label(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            p = b.call("pm_alloc", [64], PTR)
+            addr = b.cast("ptrtoint", p, I64)
+            back = b.cast("inttoptr", addr, PTR)
+            b.call("pmtest_assert_persisted", [back, 16])
+            b.ret(0)
+
+        interp = interp_for(build)
+        interp.call("main")
+        trace = interp.finish()
+        pmtest = [e for e in trace.boundaries() if e.label.startswith("pmtest:")]
+        assert len(pmtest) == 1
+        assert pmtest[0].label.endswith(":16")
+
+
+class TestRegistry:
+    def test_is_intrinsic(self):
+        assert is_intrinsic("pm_alloc")
+        assert not is_intrinsic("memcpy")  # memcpy is IR, not intrinsic
+
+    def test_names_listing(self):
+        names = intrinsic_names()
+        assert "checkpoint" in names and "emit" in names
+
+    def test_finish_is_terminal(self):
+        def build(mb):
+            b = mb.function("main", [], I64)
+            b.ret(0)
+
+        interp = interp_for(build)
+        interp.call("main")
+        interp.finish()
+        with pytest.raises(InterpreterError, match="finished"):
+            interp.call("main")

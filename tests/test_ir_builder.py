@@ -1,0 +1,134 @@
+"""Unit tests for IRBuilder / ModuleBuilder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    DebugLoc,
+    I8,
+    I64,
+    IRBuilder,
+    ModuleBuilder,
+    PTR,
+    verify_module,
+)
+
+
+def test_builder_emits_into_entry():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [("x", I64)], I64)
+    result = b.add(b.function.args[0], 1)
+    b.ret(result)
+    fn = mb.module.get_function("f")
+    assert [i.opcode for i in fn.entry] == ["add", "ret"]
+
+
+def test_auto_value_names_unique():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    v1 = b.add(1, 2)
+    v2 = b.add(3, 4)
+    assert v1.name != v2.name
+    b.ret(v1)
+
+
+def test_debug_lines_increase_per_file():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64, source_file="app.c")
+    first = b.add(1, 2)
+    second = b.add(3, 4)
+    assert first.loc.file == "app.c"
+    assert second.loc.line == first.loc.line + 1
+    b.ret(second)
+    # A second function in the same pseudo file continues numbering.
+    b2 = mb.function("g", [], I64, source_file="app.c")
+    third = b2.add(5, 6)
+    assert third.loc.line > second.loc.line
+    b2.ret(third)
+
+
+def test_explicit_loc_pinning():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    b.set_loc(DebugLoc("pinned.c", 99))
+    v = b.add(1, 1)
+    assert v.loc == DebugLoc("pinned.c", 99)
+    b.set_loc(None)
+    w = b.add(2, 2)
+    assert w.loc.file != "pinned.c"
+    b.ret(w)
+
+
+def test_int_operands_wrapped_as_constants():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    v = b.add(1, 2)
+    assert all(op.type is I64 for op in v.operands)
+    b.ret(0)
+
+
+def test_store_with_type():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [("p", PTR)], I64)
+    store = b.store(0xAB, b.function.args[0], I8)
+    assert store.size == 1
+    b.ret(0)
+
+
+def test_blocks_and_positioning():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [("c", I64)], I64)
+    then_b = b.new_block("then")
+    else_b = b.new_block("else")
+    cond = b.icmp("ne", b.function.args[0], 0)
+    b.br(cond, then_b, else_b)
+    b.position_at_end(then_b)
+    b.ret(1)
+    b.position_at_end(else_b)
+    b.ret(0)
+    verify_module(mb.module)
+
+
+def test_append_after_terminator_rejected():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    b.ret(0)
+    with pytest.raises(IRError):
+        b.add(1, 2)
+
+
+def test_builder_requires_block():
+    from repro.ir import Function
+
+    fn = Function("orphan", [], I64)
+    builder = IRBuilder(fn)
+    with pytest.raises(IRError):
+        builder.add(1, 2)
+
+
+def test_duplicate_function_rejected():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    b.ret(0)
+    with pytest.raises(IRError):
+        mb.function("f", [], I64)
+
+
+def test_block_name_uniquing():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    block1 = b.new_block("loop")
+    block2 = b.new_block("loop")
+    assert block1.name != block2.name
+    b.jmp(block1)
+    b.position_at_end(block1)
+    b.jmp(block2)
+    b.position_at_end(block2)
+    b.ret(0)
+    verify_module(mb.module)
+
+
+def test_globals():
+    mb = ModuleBuilder("m")
+    gv = mb.global_("buf", 64, "pm")
+    assert mb.module.get_global("buf") is gv

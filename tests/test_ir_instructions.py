@@ -1,0 +1,167 @@
+"""Unit tests for IR instruction construction and validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Constant,
+    Fence,
+    Flush,
+    Gep,
+    I1,
+    I8,
+    I64,
+    ICmp,
+    Jump,
+    Load,
+    NULL,
+    PTR,
+    Ret,
+    Select,
+    Store,
+    Trap,
+    VOID,
+)
+
+
+def ptr_value():
+    return Constant(0x1000_0000, PTR)
+
+
+class TestMemoryInstructions:
+    def test_alloca(self):
+        a = Alloca(16)
+        assert a.size == 16
+        assert a.type is PTR
+        with pytest.raises(IRError):
+            Alloca(0)
+
+    def test_load(self):
+        load = Load(ptr_value(), I64)
+        assert load.size == 8
+        with pytest.raises(IRError):
+            Load(Constant(1, I64), I64)  # non-pointer operand
+        with pytest.raises(IRError):
+            Load(ptr_value(), VOID)
+
+    def test_store(self):
+        store = Store(Constant(7, I8), ptr_value())
+        assert store.size == 1
+        assert store.value.value == 7
+        assert store.type.is_void
+        with pytest.raises(IRError):
+            Store(Constant(7, I64), Constant(1, I64))
+
+    def test_gep(self):
+        gep = Gep(ptr_value(), Constant(8, I64))
+        assert gep.type is PTR
+        with pytest.raises(IRError):
+            Gep(Constant(1, I64), Constant(8, I64))
+        with pytest.raises(IRError):
+            Gep(ptr_value(), ptr_value())
+
+
+class TestArithmetic:
+    def test_binop_valid(self):
+        op = BinOp("add", Constant(1, I64), Constant(2, I64))
+        assert op.opcode == "add"
+        assert op.type is I64
+
+    def test_binop_type_mismatch(self):
+        with pytest.raises(IRError):
+            BinOp("add", Constant(1, I64), Constant(2, I8))
+
+    def test_binop_unknown_op(self):
+        with pytest.raises(IRError):
+            BinOp("fadd", Constant(1, I64), Constant(2, I64))
+
+    def test_icmp(self):
+        cmp = ICmp("ult", Constant(1, I64), Constant(2, I64))
+        assert cmp.type is I1
+        with pytest.raises(IRError):
+            ICmp("slt", Constant(1, I64), Constant(2, I64))  # unsupported pred
+
+    def test_icmp_on_pointers(self):
+        # null checks compare pointers for equality
+        ICmp("eq", ptr_value(), NULL)
+
+    def test_select(self):
+        sel = Select(Constant(1, I1), Constant(2, I64), Constant(3, I64))
+        assert sel.type is I64
+        with pytest.raises(IRError):
+            Select(Constant(1, I1), Constant(2, I64), Constant(3, I8))
+
+    def test_cast(self):
+        cast = Cast("ptrtoint", ptr_value(), I64)
+        assert cast.type is I64
+        with pytest.raises(IRError):
+            Cast("ptrtoint", Constant(1, I64), I64)
+        with pytest.raises(IRError):
+            Cast("inttoptr", Constant(1, I64), I64)
+        with pytest.raises(IRError):
+            Cast("bitcast", ptr_value(), I64)
+
+
+class TestControlFlow:
+    def test_branch_successors(self):
+        then_block, else_block = BasicBlock("a"), BasicBlock("b")
+        br = Branch(Constant(1, I1), then_block, else_block)
+        assert br.successors() == [then_block, else_block]
+        assert br.is_terminator
+
+    def test_jump(self):
+        target = BasicBlock("t")
+        jmp = Jump(target)
+        assert jmp.successors() == [target]
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(Constant(1, I64)).value.value == 1
+        assert Ret().successors() == []
+
+    def test_trap(self):
+        assert Trap().is_terminator
+
+
+class TestCall:
+    def test_fields(self):
+        call = Call("memcpy", [ptr_value(), ptr_value(), Constant(8, I64)], VOID)
+        assert call.callee == "memcpy"
+        assert len(call.args) == 3
+
+    def test_pointer_args(self):
+        call = Call("f", [ptr_value(), Constant(8, I64), ptr_value()], VOID)
+        assert len(call.pointer_args()) == 2
+
+
+class TestPersistence:
+    def test_flush_kinds(self):
+        for kind in ("clwb", "clflushopt", "clflush"):
+            assert Flush(ptr_value(), kind).kind == kind
+        with pytest.raises(IRError):
+            Flush(ptr_value(), "clwb2")
+        with pytest.raises(IRError):
+            Flush(Constant(1, I64), "clwb")
+
+    def test_fence_kinds(self):
+        for kind in ("sfence", "mfence"):
+            assert Fence(kind).kind == kind
+        with pytest.raises(IRError):
+            Fence("lfence")
+
+
+class TestInstructionInfrastructure:
+    def test_unique_iids(self):
+        a, b = Alloca(8), Alloca(8)
+        assert a.iid != b.iid
+
+    def test_replace_operand(self):
+        x, y = Constant(1, I64), Constant(2, I64)
+        op = BinOp("add", x, x)
+        assert op.replace_operand(op.operands[0], y) >= 1

@@ -1,0 +1,66 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import I1, I8, I16, I32, I64, IntType, PTR, VOID, type_from_name
+from repro.ir.types import PointerType, VoidType
+
+
+class TestIntType:
+    def test_interning(self):
+        assert IntType(64) is I64
+        assert IntType(8) is I8
+
+    def test_sizes(self):
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+        assert I1.size == 1  # books a full byte
+
+    def test_masks(self):
+        assert I8.mask == 0xFF
+        assert I64.mask == (1 << 64) - 1
+        assert I1.mask == 1
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_predicates(self):
+        assert I64.is_integer
+        assert not I64.is_pointer
+        assert not I64.is_void
+
+    def test_repr(self):
+        assert repr(I32) == "i32"
+
+
+class TestPointerAndVoid:
+    def test_pointer_singleton(self):
+        assert PointerType() is PTR
+        assert PTR.size == 8
+        assert PTR.is_pointer
+
+    def test_void_singleton(self):
+        assert VoidType() is VOID
+        assert VOID.is_void
+        assert VOID.size == 0
+
+    def test_equality_across_instances(self):
+        assert IntType(64) == I64
+        assert PTR != I64
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("i1", I1), ("i8", I8), ("i16", I16), ("i32", I32), ("i64", I64),
+         ("ptr", PTR), ("void", VOID)],
+    )
+    def test_known_names(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            type_from_name("i128")

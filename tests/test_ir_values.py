@@ -1,0 +1,55 @@
+"""Unit tests for IR values: constants, arguments, globals."""
+
+import pytest
+
+from repro.ir import Argument, Constant, GlobalVariable, I8, I64, NULL, PTR
+
+
+class TestConstant:
+    def test_truncation_to_width(self):
+        assert Constant(0x1FF, I8).value == 0xFF
+        assert Constant(-1, I64).value == (1 << 64) - 1
+
+    def test_equality_and_hash(self):
+        assert Constant(5, I64) == Constant(5, I64)
+        assert Constant(5, I64) != Constant(5, I8)
+        assert hash(Constant(5, I64)) == hash(Constant(5, I64))
+
+    def test_null_pointer(self):
+        assert NULL.value == 0
+        assert NULL.type is PTR
+
+    def test_short(self):
+        assert Constant(42, I64).short() == "42"
+
+
+class TestArgument:
+    def test_fields(self):
+        arg = Argument("x", PTR, 3)
+        assert arg.index == 3
+        assert arg.short() == "%x"
+        assert arg.type is PTR
+
+
+class TestGlobalVariable:
+    def test_valid(self):
+        gv = GlobalVariable("table", 128, "pm")
+        assert gv.space == "pm"
+        assert gv.type.is_pointer  # referencing a global yields its address
+        assert gv.short() == "@table"
+
+    def test_bad_space(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", 8, "heap")
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", 0)
+
+    def test_initializer_too_large(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", 4, "vol", b"12345")
+
+    def test_initializer_ok(self):
+        gv = GlobalVariable("g", 8, "vol", b"abc")
+        assert gv.initializer == b"abc"

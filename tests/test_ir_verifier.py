@@ -1,0 +1,127 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    Call,
+    Constant,
+    I64,
+    Jump,
+    ModuleBuilder,
+    PTR,
+    Ret,
+    Store,
+    verify_function,
+    verify_module,
+)
+
+
+def valid_module():
+    mb = ModuleBuilder("ok")
+    b = mb.function("callee", [("x", I64)], I64)
+    b.ret(b.function.args[0])
+    b = mb.function("caller", [], I64)
+    v = b.call("callee", [7], I64)
+    b.ret(v)
+    return mb.module
+
+
+def test_valid_module_passes():
+    verify_module(valid_module())
+
+
+def test_missing_terminator():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    b.add(1, 2)  # no ret
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_module(mb.module)
+
+
+def test_ret_type_mismatch():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    fn = b.function
+    fn.entry.append(Ret())  # missing value in non-void function
+    with pytest.raises(VerificationError, match="ret"):
+        verify_function(fn)
+
+
+def test_call_arity_mismatch():
+    module = valid_module()
+    caller = module.get_function("caller")
+    bad = Call("callee", [Constant(1, I64), Constant(2, I64)], I64)
+    caller.entry.insert_before(caller.entry.instructions[0], bad)
+    with pytest.raises(VerificationError, match="arity"):
+        verify_module(module)
+
+
+def test_call_return_type_mismatch():
+    module = valid_module()
+    caller = module.get_function("caller")
+    bad = Call("callee", [Constant(1, I64)], PTR)
+    caller.entry.insert_before(caller.entry.instructions[0], bad)
+    with pytest.raises(VerificationError, match="type"):
+        verify_module(module)
+
+
+def test_cross_function_operand():
+    mb = ModuleBuilder("m")
+    b1 = mb.function("f", [], I64)
+    foreign = b1.add(1, 2)
+    b1.ret(foreign)
+    b2 = mb.function("g", [], I64)
+    b2.block.append(Ret(foreign))  # uses f's instruction
+    with pytest.raises(VerificationError):
+        verify_module(mb.module)
+
+
+def test_use_before_definition():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    early = b.new_block("early")
+    late = b.new_block("late")
+    b.jmp(early)
+    b.position_at_end(early)
+    # Build the late block first so its value exists, then reference it
+    # from the earlier block.
+    b.position_at_end(late)
+    value = b.add(1, 2)
+    b.ret(value)
+    b.position_at_end(early)
+    store_target = Alloca(8)
+    early.append(store_target)
+    early.append(Store(value, store_target))  # value defined later in layout
+    early.append(Jump(late))
+    with pytest.raises(VerificationError, match="before definition"):
+        verify_function(b.function)
+
+
+def test_terminator_in_middle():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    b.ret(1)
+    # Force a second instruction after the terminator.
+    fn = b.function
+    fn.entry.instructions.append(Ret(Constant(2, I64)))
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_foreign_block_target():
+    mb = ModuleBuilder("m")
+    b = mb.function("f", [], I64)
+    stray = BasicBlock("stray")
+    stray_jump = Jump(stray)
+    b.function.entry.append(stray_jump)
+    with pytest.raises(VerificationError, match="foreign"):
+        verify_function(b.function)
+
+
+def test_declaration_passes():
+    mb = ModuleBuilder("m")
+    mb.module.add_function("ext", [("p", PTR)], I64)
+    verify_module(mb.module)

@@ -1,0 +1,110 @@
+"""Unit tests for the CPU cache durability model."""
+
+import pytest
+
+from repro.memory import AddressSpace, CacheModel, PersistentImage
+
+
+@pytest.fixture
+def machine_parts():
+    space = AddressSpace()
+    image = PersistentImage(space)
+    cache = CacheModel(space, image)
+    addr = space.alloc_pm(256, align=64)
+    return space, image, cache, addr
+
+
+class TestStoreFlushFenceLifecycle:
+    def test_store_dirties_line(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        assert cache.pending_lines() == [addr]
+        assert cache.dirty_store_seqs() == {1}
+
+    def test_clwb_queues_until_fence(self, machine_parts):
+        space, image, cache, addr = machine_parts
+        space.write_int(addr, 8, 42)
+        cache.on_store(addr, 8, seq=1)
+        status = cache.on_flush(addr, "clwb")
+        assert status == "writeback"
+        # still not durable: weakly ordered
+        assert image.durable_bytes(addr, 8) != space.read_bytes(addr, 8)
+        assert cache.flushing_store_seqs() == {1}
+        completed = cache.on_fence("sfence")
+        assert completed == [addr]
+        assert image.durable_bytes(addr, 8) == space.read_bytes(addr, 8)
+        assert not cache.pending_lines()
+
+    def test_clflush_is_immediately_durable(self, machine_parts):
+        space, image, cache, addr = machine_parts
+        space.write_int(addr, 8, 7)
+        cache.on_store(addr, 8, seq=1)
+        status = cache.on_flush(addr, "clflush")
+        assert status == "writeback"
+        assert image.durable_bytes(addr, 8) == space.read_bytes(addr, 8)
+        assert not cache.pending_lines()
+
+    def test_redundant_flush_of_clean_line(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        assert cache.on_flush(addr, "clwb") == "redundant"
+        assert cache.clean_flush_count == 1
+
+    def test_coalesced_flush(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        assert cache.on_flush(addr, "clwb") == "writeback"
+        cache.on_store(addr + 8, 8, seq=2)
+        # Same line, already queued: the WPQ entry absorbs it.
+        assert cache.on_flush(addr, "clwb") == "coalesced"
+        cache.on_fence("sfence")
+        assert not cache.pending_lines()
+
+    def test_flush_of_queued_line_without_new_store(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        cache.on_flush(addr, "clwb")
+        assert cache.on_flush(addr, "clwb") == "coalesced"
+
+    def test_store_spanning_lines(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr + 60, 8, seq=5)
+        assert cache.pending_lines() == [addr, addr + 64]
+
+    def test_fence_with_nothing_queued(self, machine_parts):
+        _, _, cache, _ = machine_parts
+        assert cache.on_fence("sfence") == []
+
+    def test_dirty_not_drained_by_fence(self, machine_parts):
+        """A fence only completes *flushed* lines; dirty-but-unflushed
+        lines stay pending — that is the missing-flush bug."""
+        _, image, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        cache.on_fence("sfence")
+        assert cache.pending_lines() == [addr]
+        assert cache.dirty_store_seqs() == {1}
+
+    def test_clflush_completes_queued_stores_too(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        cache.on_flush(addr, "clwb")  # queued
+        cache.on_store(addr, 8, seq=2)
+        cache.on_flush(addr, "clflush")
+        assert not cache.pending_lines()
+
+
+class TestStatistics:
+    def test_counts(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        cache.on_flush(addr, "clwb")
+        cache.on_flush(addr, "clwb")
+        cache.on_fence("sfence")
+        assert cache.flush_count == 2
+        assert cache.fence_count == 1
+
+    def test_pending_store_seqs_union(self, machine_parts):
+        _, _, cache, addr = machine_parts
+        cache.on_store(addr, 8, seq=1)
+        cache.on_flush(addr, "clwb")
+        cache.on_store(addr + 64, 8, seq=2)
+        assert cache.pending_store_seqs() == {1, 2}

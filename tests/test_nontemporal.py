@@ -1,0 +1,145 @@
+"""Unit tests for non-temporal (MOVNT) store support."""
+
+import pytest
+
+from repro.apps.pmdk_mini import build_pmdk_module
+from repro.core import Hippocrates, InsertFenceAfterStore
+from repro.detect import BugKind, pmemcheck_run
+from repro.interp import Interpreter
+from repro.ir import I64, ModuleBuilder, PTR, format_module, parse_module
+
+
+def drive(interp):
+    interp.call("main")
+
+
+class TestSemantics:
+    def test_nt_store_needs_only_a_fence(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(42, p, nontemporal=True)
+        b.fence()
+        b.ret(0)
+        detection, _, interp = pmemcheck_run(mb.module, drive)
+        assert detection.bug_count == 0
+        addr = interp.machine.allocations[-1].start
+        assert interp.machine.image.is_line_durable(addr)
+
+    def test_unfenced_nt_store_is_missing_fence(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(42, p, nontemporal=True)
+        b.ret(0)
+        detection, _, _ = pmemcheck_run(mb.module, drive)
+        assert detection.bug_count == 1
+        bug = detection.bugs[0]
+        assert bug.kind is BugKind.MISSING_FENCE
+        assert bug.flush is None  # no flush exists (none needed)
+
+    def test_nt_store_visible_to_loads(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(99, p, nontemporal=True)
+        b.ret(b.load(p))
+        interp = Interpreter(mb.module)
+        assert interp.call("main").value == 99
+
+    def test_adversarial_crash_before_fence_loses_nt_store(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(7, p, nontemporal=True)
+        b.ret(0)
+        _, _, interp = pmemcheck_run(mb.module, drive)
+        addr = interp.machine.allocations[-1].start
+        assert not interp.machine.image.is_line_durable(addr)
+
+
+class TestFixing:
+    def build_buggy(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(42, p, nontemporal=True)
+        b.ret(0)
+        return mb.module
+
+    def test_fix_is_fence_after_store(self):
+        module = self.build_buggy()
+        detection, trace, interp = pmemcheck_run(module, drive)
+        fixer = Hippocrates(module, trace, interp.machine)
+        plan = fixer.compute_fixes()
+        assert len(plan.fixes) == 1
+        assert isinstance(plan.fixes[0], InsertFenceAfterStore)
+        fixer.apply(plan)
+        after, _, _ = pmemcheck_run(module, drive)
+        assert after.bug_count == 0
+
+    def test_no_flush_inserted(self):
+        module = self.build_buggy()
+        _, trace, interp = pmemcheck_run(module, drive)
+        Hippocrates(module, trace, interp.machine).fix()
+        ops = [i.opcode for i in module.get_function("main").instructions()]
+        assert "fence" in ops and "flush" not in ops
+
+
+class TestTextFormats:
+    def test_ir_roundtrip(self):
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(1, p, nontemporal=True)
+        b.store(2, p)
+        b.ret(0)
+        text = format_module(mb.module)
+        assert "store.nt i64 1" in text
+        reparsed = parse_module(text)
+        stores = reparsed.get_function("main").stores()
+        assert [s.nontemporal for s in stores] == [True, False]
+
+    def test_trace_roundtrip(self):
+        from repro.trace import dump_trace, load_trace
+
+        mb = ModuleBuilder("nt")
+        b = mb.function("main", [], I64)
+        p = b.call("pm_alloc", [64], PTR)
+        b.store(1, p, nontemporal=True)
+        b.ret(0)
+        _, trace, _ = pmemcheck_run(mb.module, drive)
+        reloaded = load_trace(dump_trace(trace))
+        assert reloaded.stores()[0].nontemporal
+        assert dump_trace(reloaded) == dump_trace(trace)
+
+
+class TestLibpmemNodrain:
+    def test_nodrain_copy_then_drain_is_clean(self):
+        mb = build_pmdk_module(name="nd")
+        b = mb.function("main", [], I64)
+        src = mb.module.get_global("nd_src") if "nd_src" in mb.module.globals else mb.global_("nd_src", 64, "vol", b"A" * 64)
+        dst = b.call("pm_alloc", [64], PTR)
+        b.call("pmem_memcpy_nodrain", [dst, src, 64])
+        b.call("pmem_drain", [])
+        b.ret(0)
+        detection, _, interp = pmemcheck_run(mb.module, drive)
+        assert detection.bug_count == 0
+        addr = interp.machine.allocations[-1].start
+        assert interp.machine.space.read_bytes(addr, 64) == b"A" * 64
+        assert interp.machine.image.durable_bytes(addr, 64) == b"A" * 64
+
+    def test_nodrain_without_drain_detected_and_fixed(self):
+        mb = build_pmdk_module(name="nd")
+        src = mb.global_("nd_src", 64, "vol", b"B" * 64)
+        b = mb.function("main", [], I64)
+        dst = b.call("pm_alloc", [64], PTR)
+        b.call("pmem_memcpy_nodrain", [dst, src, 64])
+        b.ret(0)
+        module = mb.module
+        detection, trace, interp = pmemcheck_run(module, drive)
+        assert detection.bug_count == 1
+        assert detection.bugs[0].kind is BugKind.MISSING_FENCE
+        Hippocrates(module, trace, interp.machine).fix()
+        after, _, _ = pmemcheck_run(module, drive)
+        assert after.bug_count == 0

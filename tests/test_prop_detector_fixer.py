@@ -1,0 +1,102 @@
+"""Property-based tests tying the detector and fixer together.
+
+Over randomly generated multi-function PM programs:
+
+1. a program whose every store is followed by flush+fence is clean;
+2. omitting persistence of some stores is always detected;
+3. Hippocrates always repairs everything the detector reports, with
+   either heuristic setting, and the fixed module verifies.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import Hippocrates
+from repro.detect import pmemcheck_run
+from repro.ir import I64, ModuleBuilder, PTR, verify_module
+
+#: Each element: (persist?, slot, value, via_helper?)
+action = st.tuples(
+    st.booleans(),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=1000),
+    st.booleans(),
+)
+
+
+def build(actions):
+    mb = ModuleBuilder("gen")
+    helper = mb.function("set_slot", [("p", PTR), ("v", I64)], source_file="gen.c")
+    helper.store(helper.function.args[1], helper.function.args[0])
+    helper.ret()
+
+    b = mb.function("main", [], I64, source_file="gen.c")
+    base = b.call("pm_alloc", [256], PTR)
+    vol = b.call("vol_alloc", [256], PTR)
+    b.call("set_slot", [vol, 1])  # volatile helper use
+    for persist, slot, value, via_helper in actions:
+        target = b.gep(base, slot * 64)
+        if via_helper:
+            b.call("set_slot", [target, value])
+        else:
+            b.store(value, target)
+        if persist:
+            b.flush(target)
+            b.fence()
+    b.call("checkpoint", [])
+    b.ret(0)
+    return mb.module
+
+
+def drive(interp):
+    interp.call("main")
+
+
+@settings(max_examples=50, deadline=None)
+@given(actions=st.lists(action, max_size=10))
+def test_fully_persisted_programs_are_clean(actions):
+    persisted = [(True, s, v, h) for (_, s, v, h) in actions]
+    module = build(persisted)
+    detection, _, _ = pmemcheck_run(module, drive)
+    assert detection.bug_count == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(actions=st.lists(action, min_size=1, max_size=10))
+def test_unpersisted_final_store_always_detected(actions):
+    actions = actions[:-1] + [(False,) + actions[-1][1:]]
+    module = build(actions)
+    detection, _, _ = pmemcheck_run(module, drive)
+    assert detection.bug_count >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    actions=st.lists(action, min_size=1, max_size=8),
+    heuristic=st.sampled_from(["full", "trace", "off"]),
+)
+def test_hippocrates_always_converges_to_clean(actions, heuristic):
+    module = build(actions)
+    detection, trace, interp = pmemcheck_run(module, drive)
+    fixer = Hippocrates(module, trace, interp.machine, heuristic=heuristic)
+    report = fixer.fix()
+    verify_module(module)
+    assert report.bugs_fixed == detection.bug_count
+    after, _, _ = pmemcheck_run(module, drive)
+    assert after.bug_count == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(actions=st.lists(action, min_size=1, max_size=8))
+def test_fix_is_idempotent(actions):
+    """Fixing a fixed module finds nothing and changes nothing."""
+    from repro.ir import format_module
+
+    module = build(actions)
+    _, trace, interp = pmemcheck_run(module, drive)
+    Hippocrates(module, trace, interp.machine).fix()
+    after, trace2, interp2 = pmemcheck_run(module, drive)
+    before_text = format_module(module)
+    report = Hippocrates(module, trace2, interp2.machine).fix()
+    assert report.fixes_applied == 0
+    assert format_module(module) == before_text

@@ -1,0 +1,143 @@
+"""Property-based tests of the paper's safety theorems.
+
+Theorem 1 (fence insertion is safe) and Theorem 2 (flush insertion is
+safe) are proved in the paper for *any* program point.  Here hypothesis
+makes them executable: for randomly generated straight-line PM programs
+and arbitrary insertion points, inserting a flush or a fence never
+changes observable behavior (emitted output and PM cache-view
+contents), and never *introduces* new bug reports.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.detect import pmemcheck_run
+from repro.interp import Interpreter
+from repro.ir import (
+    Fence,
+    Flush,
+    I64,
+    ModuleBuilder,
+    PTR,
+    Store,
+    verify_module,
+)
+
+#: One program step: (op, slot_index, value) over 4 PM slots.
+step = st.tuples(
+    st.sampled_from(["store", "flush", "fence", "emit"]),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+def build_program(steps):
+    """A straight-line program over 4 PM cache lines."""
+    mb = ModuleBuilder("prog")
+    b = mb.function("main", [], I64)
+    base = b.call("pm_alloc", [256], PTR)
+    slots = [b.gep(base, i * 64) for i in range(4)]
+    for op, index, value in steps:
+        if op == "store":
+            b.store(value, slots[index])
+        elif op == "flush":
+            b.flush(slots[index])
+        elif op == "fence":
+            b.fence()
+        else:
+            b.call("emit", [b.add(b.load(slots[index]), value)])
+    for slot in slots:
+        b.call("emit", [b.load(slot)])
+    b.ret(0)
+    return mb.module
+
+
+def observe(module):
+    interp = Interpreter(module)
+    result = interp.call("main")
+    trace = interp.finish()
+    return result.output, trace
+
+
+def insert_at(module, position, instr):
+    """Insert an instruction at a linear position in main's entry."""
+    entry = module.get_function("main").entry
+    index = min(position, len(entry.instructions) - 1)
+    anchor = entry.instructions[index]
+    if anchor.is_terminator:
+        anchor = entry.instructions[index - 1]
+    entry.insert_after(anchor, instr)
+
+
+def pm_pointer(module):
+    """Any PM pointer value from the program (a store target)."""
+    for instr in module.get_function("main").instructions():
+        if isinstance(instr, Store):
+            return instr.pointer
+    return None
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(step, min_size=1, max_size=12), position=st.integers(0, 40))
+def test_fence_insertion_does_no_harm(steps, position):
+    baseline_output, _ = observe(build_program(steps))
+    patched = build_program(steps)
+    insert_at(patched, position + 1, Fence("sfence"))
+    verify_module(patched)
+    output, _ = observe(patched)
+    assert output == baseline_output
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(step, min_size=1, max_size=12), position=st.integers(0, 40))
+def test_flush_insertion_does_no_harm(steps, position):
+    baseline_output, _ = observe(build_program(steps))
+    patched = build_program(steps)
+    target = pm_pointer(patched)
+    if target is None:
+        return
+    # Insert after the target's definition so the IR stays valid.
+    entry = patched.get_function("main").entry
+    def_index = entry.index_of(target) if target.parent is entry else 0
+    insert_at(patched, max(def_index, position + 1), Flush(target, "clwb"))
+    verify_module(patched)
+    output, _ = observe(patched)
+    assert output == baseline_output
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(step, min_size=1, max_size=12))
+def test_hippocrates_fix_does_no_harm_and_fixes(steps):
+    """The composed guarantee: after Hippocrates, behavior is unchanged
+    and the detector finds nothing."""
+    from repro.core import Hippocrates
+
+    baseline_output, _ = observe(build_program(steps))
+    module = build_program(steps)
+    detection, trace, interp = pmemcheck_run(module, lambda i: i.call("main"))
+    Hippocrates(module, trace, interp.machine).fix()
+    verify_module(module)
+    after, _, _ = pmemcheck_run(module, lambda i: i.call("main"))
+    assert after.bug_count == 0
+    output, _ = observe(module)
+    assert output == baseline_output
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=st.lists(step, min_size=1, max_size=10))
+def test_fix_insertion_never_adds_bugs(steps):
+    """Inserting a fence anywhere never creates a new report (the
+    definition of "safe" from §4.2)."""
+    module = build_program(steps)
+    detection, _, _ = pmemcheck_run(module, lambda i: i.call("main"))
+    before_keys = {(b.store.iid, b.kind) for b in detection.bugs}
+    patched = build_program(steps)
+    insert_at(patched, 3, Fence("sfence"))
+    after, _, _ = pmemcheck_run(patched, lambda i: i.call("main"))
+    # Bug iids differ between builds; compare by (function, line, kind).
+    def key(bug):
+        return (bug.store.function, bug.store.loc.line, bug.kind)
+
+    before_set = {key(b) for b in detection.bugs}
+    after_set = {key(b) for b in after.bugs}
+    assert after_set <= before_set

@@ -1,0 +1,142 @@
+"""Unit tests for trace events and the pmemcheck text format."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.interp import Interpreter
+from repro.ir import DebugLoc, I64, ModuleBuilder, PTR
+from repro.trace import (
+    BoundaryEvent,
+    FenceEvent,
+    FlushEvent,
+    PMTrace,
+    StackFrame,
+    StoreEvent,
+    dump_event,
+    dump_trace,
+    load_trace,
+    parse_event,
+)
+
+
+def recorded_trace():
+    mb = ModuleBuilder("t")
+    b = mb.function("writer", [("p", PTR)], I64)
+    b.store(1, b.function.args[0])
+    b.flush(b.function.args[0])
+    b.fence()
+    b.ret(0)
+    b = mb.function("main", [], I64)
+    p = b.call("pm_alloc", [64], PTR)
+    b.call("writer", [p], I64)
+    b.call("checkpoint", [])
+    b.ret(0)
+    interp = Interpreter(mb.module)
+    interp.call("main")
+    return interp.finish()
+
+
+class TestEventStructure:
+    def test_event_kinds_in_order(self):
+        trace = recorded_trace()
+        kinds = [e.kind for e in trace]
+        assert kinds == ["store", "flush", "fence", "boundary", "boundary"]
+
+    def test_store_event_stack(self):
+        trace = recorded_trace()
+        store = trace.stores()[0]
+        assert [f.function for f in store.stack] == ["main", "writer"]
+        assert store.function == "writer"
+        assert store.caller_frames[0].function == "main"
+
+    def test_flush_event_line_addr(self):
+        trace = recorded_trace()
+        flush = trace.flushes()[0]
+        assert flush.line_addr % 64 == 0
+        assert flush.had_work
+
+    def test_pm_store_iids(self):
+        trace = recorded_trace()
+        assert len(trace.pm_store_iids()) == 1
+
+    def test_volatile_stores_not_recorded_by_default(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("main", [], I64)
+        v = b.call("vol_alloc", [8], PTR)
+        b.store(1, v)
+        b.ret(0)
+        interp = Interpreter(mb.module)
+        interp.call("main")
+        assert len(interp.finish().stores(pm_only=False)) == 0
+
+    def test_volatile_stores_optional(self):
+        mb = ModuleBuilder("t")
+        b = mb.function("main", [], I64)
+        v = b.call("vol_alloc", [8], PTR)
+        b.store(1, v)
+        b.ret(0)
+        interp = Interpreter(mb.module, record_volatile_stores=True)
+        interp.call("main")
+        stores = interp.finish().stores(pm_only=False)
+        assert len(stores) == 1 and stores[0].space == "vol"
+
+
+class TestTextFormat:
+    def test_dump_load_roundtrip(self):
+        trace = recorded_trace()
+        text = dump_trace(trace)
+        reloaded = load_trace(text)
+        assert dump_trace(reloaded) == text
+        assert len(reloaded) == len(trace)
+
+    def test_roundtrip_preserves_fields(self):
+        trace = recorded_trace()
+        reloaded = load_trace(dump_trace(trace))
+        original = trace.stores()[0]
+        restored = reloaded.stores()[0]
+        assert restored.addr == original.addr
+        assert restored.size == original.size
+        assert restored.stack == original.stack
+        assert restored.loc == original.loc
+
+    def test_stack_frame_parse(self):
+        frame = StackFrame("fn", 17, DebugLoc("f.c", 3))
+        assert StackFrame.parse(str(frame)) == frame
+
+    def test_dump_event_tags(self):
+        trace = recorded_trace()
+        assert dump_event(trace.stores()[0]).startswith("STORE;")
+        assert dump_event(trace.flushes()[0]).startswith("FLUSH;")
+        assert dump_event(trace.fences()[0]).startswith("FENCE;")
+        assert dump_event(trace.boundaries()[0]).startswith("BOUNDARY;")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "WIBBLE;1;2",
+            "STORE;x;0x10;8;pm;main@a.c:1#1",
+            "STORE;1;0x10;8;pm;",  # empty stack
+            "FLUSH;1;0x10;0x0;clwb;maybe;main@a.c:1#1",
+        ],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(TraceError):
+            parse_event(line)
+
+    def test_load_skips_comments_and_blanks(self):
+        trace = recorded_trace()
+        text = "# header\n\n" + dump_trace(trace)
+        assert len(load_trace(text)) == len(trace)
+
+
+class TestPMTraceContainer:
+    def test_filters(self):
+        trace = recorded_trace()
+        assert len(trace.of_kind(StoreEvent)) == 1
+        assert len(trace.of_kind(FlushEvent)) == 1
+        assert len(trace.of_kind(FenceEvent)) == 1
+        assert len(trace.of_kind(BoundaryEvent)) == 2
+
+    def test_indexing(self):
+        trace = recorded_trace()
+        assert trace[0].kind == "store"

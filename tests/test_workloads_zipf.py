@@ -1,0 +1,92 @@
+"""Unit tests for the YCSB distribution generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a64,
+)
+
+
+def draws(generator, n=4000):
+    return [generator.next() for _ in range(n)]
+
+
+class TestZipfian:
+    def test_in_range(self):
+        gen = ZipfianGenerator(100, random.Random(1))
+        assert all(0 <= x < 100 for x in draws(gen))
+
+    def test_item_zero_most_popular(self):
+        gen = ZipfianGenerator(100, random.Random(2))
+        counts = Counter(draws(gen, 8000))
+        assert counts[0] == max(counts.values())
+
+    def test_popularity_decreasing_on_average(self):
+        gen = ZipfianGenerator(1000, random.Random(3))
+        counts = Counter(draws(gen, 20000))
+        head = sum(counts[i] for i in range(10))
+        tail = sum(counts[i] for i in range(500, 510))
+        assert head > 10 * max(1, tail)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfianGenerator(50, random.Random(7))
+        b = ZipfianGenerator(50, random.Random(7))
+        assert draws(a, 100) == draws(b, 100)
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(1))
+
+
+class TestScrambled:
+    def test_in_range_and_spread(self):
+        gen = ScrambledZipfianGenerator(100, random.Random(4))
+        values = draws(gen, 4000)
+        assert all(0 <= x < 100 for x in values)
+        counts = Counter(values)
+        # scrambling spreads the popular items away from index 0
+        top = counts.most_common(1)[0][0]
+        assert top == fnv1a64(0) % 100
+
+
+class TestLatest:
+    def test_skews_to_recent(self):
+        gen = LatestGenerator(100, random.Random(5))
+        values = draws(gen, 4000)
+        assert all(0 <= x < 100 for x in values)
+        recent = sum(1 for v in values if v >= 90)
+        old = sum(1 for v in values if v < 10)
+        assert recent > old
+
+    def test_advance_grows_domain(self):
+        gen = LatestGenerator(10, random.Random(6))
+        assert gen.advance() == 10
+        assert gen.max_item == 11
+        assert all(0 <= gen.next() < 11 for _ in range(200))
+
+
+class TestUniform:
+    def test_roughly_flat(self):
+        gen = UniformGenerator(10, random.Random(8))
+        counts = Counter(draws(gen, 10000))
+        assert min(counts.values()) > 700
+        assert max(counts.values()) < 1300
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0, random.Random(1))
+
+
+def test_fnv1a64_reference_vector():
+    # FNV-1a of eight zero bytes
+    value = 0xCBF29CE484222325
+    for _ in range(8):
+        value = (value * 0x100000001B3) & ((1 << 64) - 1)
+    assert fnv1a64(0) == value
