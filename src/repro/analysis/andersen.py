@@ -34,8 +34,9 @@ IR construct          constraint
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..budget import Budget
 from ..ir.function import Function
 from ..ir.instructions import (
     Alloca,
@@ -71,8 +72,18 @@ UNKNOWN_SITE = AllocSite("unknown", "unknown")
 class PointsTo:
     """Solved points-to information for one module."""
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, budget: Optional[Budget] = None):
+        """Solve the module's constraints to a fixpoint.
+
+        ``budget`` (items = constraint evaluations, optionally seconds)
+        bounds the fixpoint: when it runs out, :class:`~repro.errors.
+        BudgetExceeded` propagates from here.  A partial Andersen result
+        would be an *under*-approximation — unsafe to act on — so the
+        orchestrator must catch the signal and downgrade to a cheaper
+        heuristic rather than read a half-solved analysis.
+        """
         self.module = module
+        self.budget = budget
         self.sites: Dict[str, AllocSite] = {}
         self._var_pts: Dict[Value, Set[AllocSite]] = {}
         self._heap_pts: Dict[AllocSite, Set[AllocSite]] = {}
@@ -180,8 +191,11 @@ class PointsTo:
                         copies.append((ret_value, call))
 
         # -- fixpoint ------------------------------------------------------------
+        per_pass = len(copies) + len(loads) + len(stores)
         changed = True
         while changed:
+            if self.budget is not None:
+                self.budget.charge(per_pass)
             changed = False
             for src, dst in copies:
                 before = len(self._pts(dst))
@@ -224,6 +238,6 @@ class PointsTo:
             self._pts(call).add(UNKNOWN_SITE)
 
 
-def analyze(module: Module) -> PointsTo:
+def analyze(module: Module, budget: Optional[Budget] = None) -> PointsTo:
     """Run Andersen's analysis over a module."""
-    return PointsTo(module)
+    return PointsTo(module, budget=budget)

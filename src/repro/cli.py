@@ -12,6 +12,21 @@ log in, fixed bitcode out), but over this package's textual formats::
 file produced by ``detect`` is the only coupling between the two steps,
 so the fix step can run on a different build of the module (bug
 localization falls back to function + source line).
+
+Exit codes distinguish failure classes so build scripts can branch:
+
+====  =======================================================
+code  meaning
+====  =======================================================
+0     success
+1     bugs found (``detect``) / some bugs quarantined (``fix``)
+2     malformed module, I/O failure, or other error
+3     malformed trace (:class:`TraceError`; strict mode)
+4     a bug could not be located in the IR (:class:`LocateError`)
+5     a fix could not be computed/applied (:class:`FixError`)
+6     the fixed module failed validation (:class:`ValidationError`)
+7     a resource budget ran out (:class:`BudgetExceeded`)
+====  =======================================================
 """
 
 from __future__ import annotations
@@ -22,10 +37,29 @@ from typing import List, Optional
 
 from .core import Hippocrates
 from .detect import check_trace
-from .errors import ReproError
+from .errors import (
+    BudgetExceeded,
+    FixError,
+    LocateError,
+    ReproError,
+    TraceError,
+    ValidationError,
+)
 from .interp import Interpreter, SimulatedCrash
 from .ir import format_module, parse_module, verify_module
-from .trace import dump_trace, load_trace
+from .trace import dump_trace
+
+#: exception class -> process exit code, most specific first (a
+#: LocateError is a FixError; a FixError is a ReproError).
+EXIT_CODES = (
+    (TraceError, 3),
+    (LocateError, 4),
+    (ValidationError, 6),
+    (FixError, 5),
+    (BudgetExceeded, 7),
+    (ReproError, 2),
+    (OSError, 2),
+)
 
 
 def _load_module(path: str):
@@ -78,17 +112,29 @@ def cmd_detect(ns: argparse.Namespace) -> int:
 def cmd_fix(ns: argparse.Namespace) -> int:
     module = _load_module(ns.module)
     with open(ns.trace) as handle:
-        trace = load_trace(handle.read())
-    fixer = Hippocrates(module, trace, heuristic=ns.heuristic)
+        trace_text = handle.read()
+    fixer = Hippocrates(
+        module,
+        trace_text,
+        heuristic=ns.heuristic,
+        keep_going=ns.keep_going,
+        lenient=ns.lenient,
+    )
+    for warning in fixer.trace_warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     plan = fixer.compute_fixes()
     print(plan.describe())
     report = fixer.apply(plan)
     print(report.summary())
+    for downgrade in report.downgrades:
+        print(downgrade.describe(), file=sys.stderr)
+    for quarantined in report.quarantined:
+        print(quarantined.describe(), file=sys.stderr)
     output_path = ns.output or ns.module
     with open(output_path, "w") as handle:
         handle.write(format_module(module))
     print(f"fixed module written to {output_path}")
-    return 0
+    return 1 if report.quarantined else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="hoisting heuristic (Trace-AA needs the live machine and is "
         "unavailable file-to-file)",
     )
+    fix.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip malformed trace lines (warn on stderr) instead of "
+        "failing with exit code 3",
+    )
+    fix.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="quarantine bugs whose fix fails (summary on stderr, exit "
+        "code 1) instead of aborting on the first error",
+    )
     fix.set_defaults(fn=cmd_fix)
     return parser
 
@@ -137,9 +195,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     ns = build_parser().parse_args(argv)
     try:
         return ns.fn(ns)
-    except (ReproError, OSError) as exc:
+    except tuple(cls for cls, _ in EXIT_CODES) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        for cls, code in EXIT_CODES:
+            if isinstance(exc, cls):
+                return code
+        return 2  # pragma: no cover - EXIT_CODES is exhaustive here
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,11 +22,20 @@ from .fixes import (
     insert_covering_flushes,
 )
 from .heuristic import Candidate, HoistDecision, choose_fix_location, evaluate_candidates
-from .hippocrates import HEURISTICS, FixReport, Hippocrates, fix_module
+from .hippocrates import (
+    DOWNGRADE_CHAIN,
+    HEURISTICS,
+    FixReport,
+    HeuristicDowngrade,
+    Hippocrates,
+    QuarantinedBug,
+    fix_module,
+)
 from .intraprocedural import generate_intraprocedural_fixes
 from .locate import Locator
 from .reduction import reduce_fixes
 from .subprogram import PM_SUFFIX, SubprogramTransformer, clone_function
+from .transaction import FixTransaction
 from .validate import assert_fixed, do_no_harm, observable_behavior, revalidate
 
 __all__ = [
@@ -35,16 +44,20 @@ __all__ = [
     "choose_fix_location",
     "clone_function",
     "do_no_harm",
+    "DOWNGRADE_CHAIN",
     "evaluate_candidates",
     "Fix",
     "fix_module",
     "FixPlan",
     "FixReport",
+    "FixTransaction",
     "generate_intraprocedural_fixes",
+    "HeuristicDowngrade",
     "HEURISTICS",
     "Hippocrates",
     "HoistDecision",
     "HoistedFix",
+    "QuarantinedBug",
     "InsertFenceAfterFlush",
     "InsertFenceAfterStore",
     "insert_covering_flushes",

@@ -16,7 +16,9 @@ from ..ir.values import Constant
 from ..detect.reports import BugReport
 
 
-def insert_covering_flushes(store: Store, kind: str = "clwb") -> List[Instruction]:
+def insert_covering_flushes(
+    store: Store, kind: str = "clwb", into: Optional[List[Instruction]] = None
+) -> List[Instruction]:
     """Insert flush(es) after a store, covering every cache line the
     store touches.
 
@@ -26,23 +28,28 @@ def insert_covering_flushes(store: Store, kind: str = "clwb") -> List[Instructio
     byte) targets the last stored byte — on the common non-straddling
     path it coalesces for almost nothing.
 
-    Returns the inserted instructions, in order.
+    Returns the inserted instructions, in order.  When ``into`` is
+    given, each instruction is also appended to it *as it is inserted*,
+    so a caller's rollback journal sees partial insertions even if a
+    later step here raises.
     """
     block = store.parent
     if block is None:
         raise ValueError(f"store #{store.iid} is detached")
-    first = Flush(store.pointer, kind)
-    first.loc = store.loc
-    block.insert_after(store, first)
-    inserted: List[Instruction] = [first]
+    inserted: List[Instruction] = []
+
+    def insert(after: Instruction, instr: Instruction) -> Instruction:
+        instr.loc = store.loc
+        block.insert_after(after, instr)
+        inserted.append(instr)
+        if into is not None:
+            into.append(instr)
+        return instr
+
+    first = insert(store, Flush(store.pointer, kind))
     if store.size > 1:
-        tail_ptr = Gep(store.pointer, Constant(store.size - 1))
-        tail_ptr.loc = store.loc
-        block.insert_after(first, tail_ptr)
-        tail = Flush(tail_ptr, kind)
-        tail.loc = store.loc
-        block.insert_after(tail_ptr, tail)
-        inserted.extend([tail_ptr, tail])
+        tail_ptr = insert(first, Gep(store.pointer, Constant(store.size - 1)))
+        insert(tail_ptr, Flush(tail_ptr, kind))
     return inserted
 
 

@@ -11,11 +11,30 @@ Given a module and a PM trace (in-memory or pmemcheck text), it:
 The result is a :class:`FixReport` with everything the paper's
 evaluation tables need: fix counts and kinds, hoist depths, inserted-IR
 size, and offline time/memory overhead.
+
+The pipeline is *resilient* by construction:
+
+- **Per-bug fault isolation** — each bug is located, planned, and
+  applied independently; a bug whose step throws is quarantined (with
+  its exception and stack) into :attr:`FixReport.quarantined` and every
+  other bug still gets fixed (``keep_going=False`` restores fail-fast).
+- **Transactional application** — each fix is applied under a
+  :class:`~repro.core.transaction.FixTransaction` and verified; any
+  mid-fix failure rolls the module back to its pre-fix state, so the
+  module is never left half-mutated.
+- **Degraded-mode heuristics** — if the whole-program analysis raises
+  or exceeds its budget, the heuristic falls back ``full -> trace ->
+  off`` (the paper's always-safe intraprocedural baseline), recording
+  each :class:`HeuristicDowngrade` in the report instead of dying.
+- **Lenient trace ingestion** — ``lenient=True`` skips malformed
+  records of a crash-truncated pmemcheck log, surfacing per-line
+  :class:`~repro.trace.pmemcheck.TraceWarning`\\ s in the report.
 """
 
 from __future__ import annotations
 
 import time
+import traceback
 import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -26,15 +45,15 @@ from ..analysis.aliasing import (
     classify_trace_aa,
 )
 from ..analysis.andersen import PointsTo
-from ..analysis.callgraph import CallGraph
+from ..budget import Budget
 from ..detect.durability import check_trace
-from ..detect.reports import DetectionResult
+from ..detect.reports import BugReport, DetectionResult
 from ..errors import FixError
 from ..interp.interpreter import Machine
-from ..ir.instructions import Fence, Flush
+from ..ir.instructions import Fence
 from ..ir.module import Module
 from ..ir.verifier import verify_module
-from ..trace.pmemcheck import load_trace
+from ..trace.pmemcheck import TraceWarning, load_trace
 from ..trace.trace import PMTrace
 from .fixes import (
     Fix,
@@ -51,10 +70,47 @@ from .intraprocedural import generate_intraprocedural_fixes
 from .locate import Locator
 from .reduction import reduce_fixes
 from .subprogram import SubprogramTransformer
+from .transaction import FixTransaction
 
 #: heuristic modes: Full-AA, Trace-AA, or disabled (intraprocedural only
 #: — the paper's RedisH-intra configuration)
 HEURISTICS = ("full", "trace", "off")
+
+#: degraded-mode fallback chain: each mode's next-cheaper alternative
+#: ("off" is the paper's always-safe intraprocedural baseline).
+DOWNGRADE_CHAIN = {"full": "trace", "trace": "off"}
+
+
+@dataclass
+class QuarantinedBug:
+    """One bug (or malformed fix) the pipeline isolated instead of
+    letting it abort the whole repair."""
+
+    phase: str  # "locate" | "apply"
+    error_type: str
+    error: str
+    traceback: str = ""
+    bug: Optional[BugReport] = None
+
+    def describe(self) -> str:
+        what = self.bug.describe() if self.bug is not None else "unattributed fix"
+        return f"[quarantined:{self.phase}] {what}: {self.error_type}: {self.error}"
+
+
+@dataclass
+class HeuristicDowngrade:
+    """A recorded fallback to a cheaper (always-safe) heuristic mode."""
+
+    from_mode: str
+    to_mode: str
+    reason: str
+    #: set when the downgrade applied to a single bug's hoist decision
+    #: (the rest of the pipeline kept the original mode)
+    bug_id: Optional[int] = None
+
+    def describe(self) -> str:
+        scope = f"bug {self.bug_id}" if self.bug_id is not None else "pipeline"
+        return f"[degraded:{scope}] {self.from_mode} -> {self.to_mode}: {self.reason}"
 
 
 @dataclass
@@ -74,6 +130,15 @@ class FixReport:
     ir_size_after: int = 0
     elapsed_seconds: float = 0.0
     peak_memory_bytes: int = 0
+    #: the heuristic the pipeline actually finished with (equal to
+    #: ``heuristic`` unless degraded mode kicked in)
+    heuristic_effective: str = ""
+    #: bugs isolated by per-bug fault tolerance (empty on a clean run)
+    quarantined: List[QuarantinedBug] = field(default_factory=list)
+    #: heuristic fallbacks taken instead of dying (empty on a clean run)
+    downgrades: List[HeuristicDowngrade] = field(default_factory=list)
+    #: malformed trace lines skipped by lenient ingestion
+    trace_warnings: List[TraceWarning] = field(default_factory=list)
 
     @property
     def ir_growth_percent(self) -> float:
@@ -81,8 +146,12 @@ class FixReport:
             return 0.0
         return 100.0 * (self.ir_size_after - self.ir_size_before) / self.ir_size_before
 
+    @property
+    def bugs_quarantined(self) -> int:
+        return len(self.quarantined)
+
     def summary(self) -> str:
-        return (
+        text = (
             f"fixed {self.bugs_fixed} bug(s) with {self.fixes_applied} fix(es) "
             f"({self.intraprocedural_count} intraprocedural, "
             f"{self.interprocedural_count} interprocedural); "
@@ -91,6 +160,13 @@ class FixReport:
             f"{len(self.functions_created)} persistent clone(s); "
             f"heuristic={self.heuristic}"
         )
+        if self.heuristic_effective and self.heuristic_effective != self.heuristic:
+            text += f" (degraded to {self.heuristic_effective})"
+        if self.quarantined:
+            text += f"; {len(self.quarantined)} bug(s) quarantined"
+        if self.trace_warnings:
+            text += f"; {len(self.trace_warnings)} malformed trace line(s) skipped"
+        return text
 
 
 class Hippocrates:
@@ -107,6 +183,15 @@ class Hippocrates:
         ``"off"`` (no hoisting; every fix stays intraprocedural).
     :param detection: pre-computed bug reports; found by running the
         pmemcheck-style checker on the trace when omitted.
+    :param keep_going: isolate per-bug failures into
+        :attr:`FixReport.quarantined` and keep repairing (the default);
+        ``False`` restores fail-fast, though a failed fix is still
+        rolled back before the exception propagates.
+    :param lenient: skip malformed records when ``trace`` is text
+        (collecting :class:`TraceWarning`\\ s) instead of raising.
+    :param analysis_budget: optional :class:`~repro.budget.Budget`
+        bounding the Andersen fixpoint; exceeding it triggers a
+        heuristic downgrade rather than a failure.
     """
 
     def __init__(
@@ -116,41 +201,116 @@ class Hippocrates:
         machine: Optional[Machine] = None,
         heuristic: str = "full",
         detection: Optional[DetectionResult] = None,
+        *,
+        keep_going: bool = True,
+        lenient: bool = False,
+        analysis_budget: Optional[Budget] = None,
     ):
         if heuristic not in HEURISTICS:
             raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
         if heuristic == "trace" and machine is None:
             raise FixError("the Trace-AA heuristic requires the tracing machine")
         self.module = module
-        self.trace = load_trace(trace) if isinstance(trace, str) else trace
+        self.keep_going = keep_going
+        self.lenient = lenient
+        self.analysis_budget = analysis_budget
+        self.trace_warnings: List[TraceWarning] = []
+        self.quarantined: List[QuarantinedBug] = []
+        self.downgrades: List[HeuristicDowngrade] = []
+        if isinstance(trace, str):
+            self.trace = load_trace(
+                trace, strict=not lenient, warnings=self.trace_warnings
+            )
+        else:
+            self.trace = trace
         self.machine = machine
         self.heuristic = heuristic
+        self._effective_heuristic = heuristic
         self.detection = detection if detection is not None else check_trace(self.trace)
         self.locator = Locator(module)
         self._classifier: Optional[PMClassification] = None
 
+    # -- resilience bookkeeping ---------------------------------------------------
+
+    @property
+    def effective_heuristic(self) -> str:
+        """The heuristic mode after any degraded-mode fallbacks."""
+        return self._effective_heuristic
+
+    def _quarantine(self, bug: Optional[BugReport], phase: str, exc: BaseException) -> None:
+        """Isolate one bug's failure, or re-raise when fail-fast."""
+        if not self.keep_going:
+            raise exc
+        self.quarantined.append(
+            QuarantinedBug(
+                phase=phase,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                traceback=traceback.format_exc(),
+                bug=bug,
+            )
+        )
+
+    def _downgrade(self, exc: BaseException, bug_id: Optional[int] = None) -> str:
+        """Step the effective heuristic down one level and record it."""
+        mode = self._effective_heuristic
+        next_mode = DOWNGRADE_CHAIN.get(mode, "off")
+        if next_mode == "trace" and self.machine is None:
+            next_mode = "off"  # Trace-AA is unavailable without the machine
+        self.downgrades.append(
+            HeuristicDowngrade(
+                from_mode=mode,
+                to_mode=next_mode,
+                reason=f"{type(exc).__name__}: {exc}",
+                bug_id=bug_id,
+            )
+        )
+        if bug_id is None:
+            self._effective_heuristic = next_mode
+        return next_mode
+
     # -- classifier ---------------------------------------------------------------
 
-    def classifier(self) -> PMClassification:
-        """The PM pointer classifier for the selected heuristic."""
-        if self._classifier is None:
-            points_to = PointsTo(self.module)
-            if self.heuristic == "trace":
-                assert self.machine is not None
-                self._classifier = classify_trace_aa(
-                    self.module, self.trace, self.machine, points_to
-                )
-            else:
-                self._classifier = classify_full_aa(self.module, points_to)
+    def _classify(self, mode: str) -> PMClassification:
+        """Build the PM pointer classifier for one heuristic mode."""
+        points_to = PointsTo(self.module, budget=self.analysis_budget)
+        if mode == "trace":
+            assert self.machine is not None
+            return classify_trace_aa(self.module, self.trace, self.machine, points_to)
+        return classify_full_aa(self.module, points_to)
+
+    def classifier(self) -> Optional[PMClassification]:
+        """The PM pointer classifier for the selected heuristic.
+
+        If the analysis raises or exceeds its budget, the heuristic is
+        downgraded (``full -> trace -> off``) and the next-cheaper
+        classifier is attempted; None means degraded all the way to
+        ``"off"`` (no hoisting — the always-safe baseline).
+        """
+        while self._classifier is None and self._effective_heuristic != "off":
+            try:
+                self._classifier = self._classify(self._effective_heuristic)
+            except Exception as exc:
+                self._downgrade(exc)
         return self._classifier
 
     # -- Step 3: fix computation -----------------------------------------------------
 
     def compute_fixes(self) -> FixPlan:
-        """Phases 1-3: generate, reduce, hoist."""
-        fixes = generate_intraprocedural_fixes(self.detection.bugs, self.locator)
+        """Phases 1-3: generate, reduce, hoist.
+
+        Each bug is located and planned independently; one that cannot
+        be resolved is quarantined (under ``keep_going``) while every
+        other bug still gets its fix.
+        """
+        fixes: List[Fix] = []
+        for bug in self.detection.bugs:
+            try:
+                fixes.extend(generate_intraprocedural_fixes([bug], self.locator))
+            except Exception as exc:
+                self._quarantine(bug, "locate", exc)
         fixes = reduce_fixes(fixes)
-        if self.heuristic != "off":
+        if self._effective_heuristic != "off":
             fixes = self._hoist(fixes)
             fixes = reduce_fixes(fixes)
         return FixPlan(fixes=fixes)
@@ -161,6 +321,9 @@ class Hippocrates:
         and therefore best fix locations — differ (the memcpy shared
         between the key copy and the value copy)."""
         classifier = self.classifier()
+        if classifier is None:
+            # Degraded to "off": every fix stays intraprocedural.
+            return fixes
         result: List[Fix] = []
         hoisted_by_site: Dict[int, HoistedFix] = {}
         for fix in fixes:
@@ -170,9 +333,16 @@ class Hippocrates:
             assert fix.store is not None
             staying = []
             for bug in fix.bugs:
-                decision = choose_fix_location(
-                    bug, fix.store, self.locator, classifier
-                )
+                try:
+                    decision = choose_fix_location(
+                        bug, fix.store, self.locator, classifier
+                    )
+                except Exception as exc:
+                    # The heuristic is an optimization; its failure
+                    # falls back to the bug's intraprocedural fix.
+                    self._downgrade(exc, bug_id=bug.report_id)
+                    staying.append(bug)
+                    continue
                 if not decision.hoist:
                     staying.append(bug)
                     continue
@@ -195,64 +365,116 @@ class Hippocrates:
 
     # -- Step 4: application ----------------------------------------------------------
 
+    def _make_transformer(self) -> SubprogramTransformer:
+        """Seam for the subprogram transformer (also a fault-injection
+        point for the resilience harness)."""
+        classifier = self.classifier()
+        if classifier is None:
+            raise FixError(
+                "cannot apply an interprocedural fix: the heuristic was "
+                "degraded to 'off' and no classifier is available"
+            )
+        return SubprogramTransformer(self.module, classifier)
+
+    def _apply_one(
+        self,
+        fix: Fix,
+        transformer: Optional[SubprogramTransformer],
+        txn: FixTransaction,
+    ) -> Optional[SubprogramTransformer]:
+        """Apply a single fix, journaling every mutation into ``txn``.
+
+        Returns the (possibly just-created) transformer.  The report is
+        only updated on success, by the caller.
+        """
+        if isinstance(fix, HoistedFix):
+            if transformer is None:
+                transformer = self._make_transformer()
+            assert fix.call_site is not None
+            txn.track_attr(fix.call_site, "callee")
+            txn.track_transformer(transformer)
+            transformer.transform_call_site(fix.call_site)
+        elif isinstance(fix, InsertFlush):
+            assert fix.store is not None
+            txn.track_fix(fix)
+            insert_covering_flushes(fix.store, fix.flush_kind, into=fix.inserted)
+        elif isinstance(fix, InsertFlushAndFence):
+            assert fix.store is not None
+            txn.track_fix(fix)
+            insert_covering_flushes(fix.store, fix.flush_kind, into=fix.inserted)
+            fence = Fence(fix.fence_kind)
+            fence.loc = fix.store.loc
+            last_flush = fix.inserted[-1]
+            last_flush.parent.insert_after(last_flush, fence)
+            fix.inserted.append(fence)
+        elif isinstance(fix, InsertFenceAfterFlush):
+            assert fix.flush is not None
+            txn.track_fix(fix)
+            fence = Fence(fix.fence_kind)
+            fence.loc = fix.flush.loc
+            fix.flush.parent.insert_after(fix.flush, fence)
+            fix.inserted.append(fence)
+        elif isinstance(fix, InsertFenceAfterStore):
+            assert fix.store is not None
+            txn.track_fix(fix)
+            fence = Fence(fix.fence_kind)
+            fence.loc = fix.store.loc
+            fix.store.parent.insert_after(fix.store, fence)
+            fix.inserted.append(fence)
+        else:
+            raise FixError(f"cannot apply fix {fix!r}")
+        return transformer
+
     def apply(self, plan: FixPlan) -> FixReport:
-        """Mutate the module according to the plan and verify it."""
+        """Mutate the module according to the plan and verify it.
+
+        Each fix is applied transactionally: its mutations are
+        journaled, the module is re-verified, and any failure rolls the
+        module back to the state before that fix — then the fix's bugs
+        are quarantined (``keep_going``) or the error propagates with
+        the module still structurally intact.
+        """
         report = FixReport(plan=plan, heuristic=self.heuristic)
         report.ir_size_before = self.module.instruction_count()
 
         transformer: Optional[SubprogramTransformer] = None
+        applied: List[Fix] = []
         for fix in plan.fixes:
+            txn = FixTransaction(self.module)
+            try:
+                transformer = self._apply_one(fix, transformer, txn)
+                verify_module(self.module)
+            except Exception as exc:
+                txn.rollback()
+                if not self.keep_going:
+                    raise
+                bugs = fix.bugs or [None]  # type: ignore[list-item]
+                for bug in bugs:
+                    self._quarantine(bug, "apply", exc)
+                continue
+            txn.commit()
+            applied.append(fix)
             if isinstance(fix, HoistedFix):
-                if transformer is None:
-                    transformer = SubprogramTransformer(
-                        self.module, self.classifier()
-                    )
-                assert fix.call_site is not None
-                transformer.transform_call_site(fix.call_site)
                 report.interprocedural_count += 1
                 report.hoist_depths.append(fix.hoist_depth)
-            elif isinstance(fix, InsertFlush):
-                assert fix.store is not None
-                fix.inserted.extend(
-                    insert_covering_flushes(fix.store, fix.flush_kind)
-                )
+            else:
                 report.intraprocedural_count += 1
-            elif isinstance(fix, InsertFlushAndFence):
-                assert fix.store is not None
-                flushes = insert_covering_flushes(fix.store, fix.flush_kind)
-                fence = Fence(fix.fence_kind)
-                fence.loc = fix.store.loc
-                flushes[-1].parent.insert_after(flushes[-1], fence)
-                fix.inserted.extend(flushes + [fence])
-                report.intraprocedural_count += 1
-            elif isinstance(fix, InsertFenceAfterFlush):
-                assert fix.flush is not None
-                fence = Fence(fix.fence_kind)
-                fence.loc = fix.flush.loc
-                fix.flush.parent.insert_after(fix.flush, fence)
-                fix.inserted.append(fence)
-                report.intraprocedural_count += 1
-            elif isinstance(fix, InsertFenceAfterStore):
-                assert fix.store is not None
-                fence = Fence(fix.fence_kind)
-                fence.loc = fix.store.loc
-                fix.store.parent.insert_after(fix.store, fence)
-                fix.inserted.append(fence)
-                report.intraprocedural_count += 1
-            else:  # pragma: no cover - exhaustive
-                raise FixError(f"cannot apply fix {fix!r}")
 
         if transformer is not None:
             report.functions_created = list(transformer.created)
 
-        report.fixes_applied = len(plan.fixes)
+        report.fixes_applied = len(applied)
         report.bugs_fixed = len(
-            {bug.report_id for fix in plan.fixes for bug in fix.bugs}
+            {bug.report_id for fix in applied for bug in fix.bugs}
         )
         report.ir_size_after = self.module.instruction_count()
         # Total new IR: flush/fence insertions plus the cloned function
         # bodies (the paper's "+105 new lines of LLVM IR" counts both).
         report.inserted_instructions = report.ir_size_after - report.ir_size_before
+        report.heuristic_effective = self._effective_heuristic
+        report.quarantined = list(self.quarantined)
+        report.downgrades = list(self.downgrades)
+        report.trace_warnings = list(self.trace_warnings)
         verify_module(self.module)
         return report
 
@@ -263,18 +485,23 @@ class Hippocrates:
 
         The measurement is the paper's Fig. 5 "offline overhead": wall
         time and peak memory of the whole compute+apply pipeline.
+        ``tracemalloc`` is stopped even when a phase raises, so a failed
+        repair never leaks tracing overhead into the caller's process.
         """
         if measure_overhead:
             tracemalloc.start()
-        start = time.perf_counter()
-        plan = self.compute_fixes()
-        report = self.apply(plan)
-        report.elapsed_seconds = time.perf_counter() - start
-        if measure_overhead:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-            report.peak_memory_bytes = peak
-        return report
+        try:
+            start = time.perf_counter()
+            plan = self.compute_fixes()
+            report = self.apply(plan)
+            report.elapsed_seconds = time.perf_counter() - start
+            if measure_overhead:
+                _, peak = tracemalloc.get_traced_memory()
+                report.peak_memory_bytes = peak
+            return report
+        finally:
+            if measure_overhead:
+                tracemalloc.stop()
 
 
 def fix_module(
@@ -282,6 +509,11 @@ def fix_module(
     trace: Union[PMTrace, str],
     machine: Optional[Machine] = None,
     heuristic: str = "full",
+    **options,
 ) -> FixReport:
-    """Convenience: run the full Hippocrates pipeline on a module."""
-    return Hippocrates(module, trace, machine, heuristic).fix()
+    """Convenience: run the full Hippocrates pipeline on a module.
+
+    Keyword ``options`` (``keep_going``, ``lenient``,
+    ``analysis_budget``) are forwarded to :class:`Hippocrates`.
+    """
+    return Hippocrates(module, trace, machine, heuristic, **options).fix()

@@ -63,8 +63,16 @@ class Locator:
     # -- public API -------------------------------------------------------------
 
     def locate_event(self, event: TraceEvent, expect: Type[T]) -> T:
-        """The instruction that produced a trace event."""
-        return self._resolve(event.function, event.loc, event.iid, expect)
+        """The instruction that produced a trace event.
+
+        Re-raises :class:`LocateError` with the event's trace sequence
+        number attached, so a quarantine record names the exact record
+        of a multi-hundred-MB log that failed to resolve.
+        """
+        try:
+            return self._resolve(event.function, event.loc, event.iid, expect)
+        except LocateError as exc:
+            raise LocateError(f"trace seq {event.seq}: {exc}") from exc
 
     def locate_store(self, event: TraceEvent) -> Store:
         return self.locate_event(event, Store)

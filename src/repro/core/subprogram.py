@@ -171,7 +171,7 @@ class SubprogramTransformer:
 
         for orig, copy in instr_map.items():
             if isinstance(orig, Store) and self.classifier.store_may_be_pm(orig):
-                self.inserted.extend(insert_covering_flushes(copy, "clwb"))
+                insert_covering_flushes(copy, "clwb", into=self.inserted)
 
         # Retarget calls to PM-storing callees at their clones.
         for orig, copy in instr_map.items():

@@ -1,0 +1,97 @@
+"""Transactional fix application: an undo journal for module mutations.
+
+Applying a fix touches the module in several places — inserted flushes
+and fences, cloned ``_PM`` functions, retargeted call sites.  If any
+step throws (a malformed fix, an injected fault, a verifier rejection),
+the module must not be left half-mutated: "do no harm" is a property of
+the *pipeline*, not only of the fixes it computes.
+
+:class:`FixTransaction` records enough to undo one fix.  Mutation sites
+register undo actions *before* mutating (or register trackers whose
+undo diffs state observed later), so a fault at any point mid-fix rolls
+back cleanly.  Undo actions run in reverse registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, TYPE_CHECKING
+
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fixes import Fix
+    from .subprogram import SubprogramTransformer
+
+
+class FixTransaction:
+    """An undo journal covering the application of a single fix."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._undo: List[Callable[[], None]] = []
+        self._done = False
+
+    # -- trackers -----------------------------------------------------------
+
+    def track_attr(self, obj: object, name: str) -> None:
+        """Snapshot ``obj.name`` now; restore it on rollback.
+
+        Used for call-site retargeting (``call.callee``)."""
+        saved = getattr(obj, name)
+        self._undo.append(lambda: setattr(obj, name, saved))
+
+    def track_fix(self, fix: "Fix") -> None:
+        """Track ``fix.inserted`` growth: on rollback, every instruction
+        appended after this point is detached from its block and dropped
+        from the list (the fix can then be re-applied)."""
+        mark = len(fix.inserted)
+
+        def undo() -> None:
+            for instr in reversed(fix.inserted[mark:]):
+                self._detach(instr)
+            del fix.inserted[mark:]
+
+        self._undo.append(undo)
+
+    def track_transformer(self, transformer: "SubprogramTransformer") -> None:
+        """Track a subprogram transformer's growth: clones created and
+        instructions inserted after this point are removed on rollback,
+        and the clone-reuse cache is restored so a later fix re-creates
+        (rather than silently reusing) a rolled-back clone."""
+        created_mark = len(transformer.created)
+        inserted_mark = len(transformer.inserted)
+        clones_before = dict(transformer.clones)
+
+        def undo() -> None:
+            for name in transformer.created[created_mark:]:
+                self.module.remove_function(name)
+            for instr in reversed(transformer.inserted[inserted_mark:]):
+                self._detach(instr)
+            del transformer.created[created_mark:]
+            del transformer.inserted[inserted_mark:]
+            transformer.clones.clear()
+            transformer.clones.update(clones_before)
+
+        self._undo.append(undo)
+
+    @staticmethod
+    def _detach(instr: Instruction) -> None:
+        block = instr.parent
+        if block is not None:
+            block.remove(instr)
+
+    # -- outcome ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Discard the journal; the fix is permanent."""
+        self._undo.clear()
+        self._done = True
+
+    def rollback(self) -> None:
+        """Undo every recorded mutation, most recent first."""
+        if self._done:
+            return
+        while self._undo:
+            self._undo.pop()()
+        self._done = True

@@ -56,7 +56,19 @@ def do_no_harm(
     before = observable_behavior(original, driver)
     after = observable_behavior(fixed, driver)
     if before != after:
+        common = min(len(before), len(after))
+        diverge = next(
+            (i for i in range(common) if before[i] != after[i]), common
+        )
+        if diverge < common:
+            detail = (
+                f"first divergence at index {diverge}: "
+                f"{before[diverge]!r} (before) vs {after[diverge]!r} (after)"
+            )
+        else:
+            detail = f"outputs agree on the first {common} value(s) then differ in length"
         raise ValidationError(
-            f"fix changed observable behavior: {before[:8]}... vs {after[:8]}..."
+            f"fix changed observable behavior: {detail}; "
+            f"lengths {len(before)} (before) vs {len(after)} (after)"
         )
     return before, after

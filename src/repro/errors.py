@@ -51,7 +51,17 @@ class FuelExhausted(InterpreterError):
 
 
 class TraceError(ReproError):
-    """A PM trace was malformed or could not be parsed."""
+    """A PM trace was malformed or could not be parsed.
+
+    ``line`` is the 1-based line number of the offending record when the
+    trace came from a pmemcheck-style text log (0 when unknown).
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
 
 
 class DetectionError(ReproError):
@@ -68,3 +78,17 @@ class LocateError(FixError):
 
 class ValidationError(FixError):
     """A fixed module still contains durability bugs (should never happen)."""
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget (wall clock, states, fixpoint work) ran out.
+
+    Raised by the Andersen fixpoint and :class:`~repro.memory.crash.
+    CrashExplorer` when given a strict :class:`~repro.budget.Budget`;
+    the repair pipeline treats it as a downgrade signal, not a failure.
+    """
+
+    def __init__(self, message: str, spent: int = 0, limit: int = 0):
+        self.spent = spent
+        self.limit = limit
+        super().__init__(message)

@@ -1,0 +1,36 @@
+"""Fault-injection harness for the repair pipeline.
+
+Real-world PM diagnostic output is messy — crash-truncated logs,
+debug-info drift, analyses that blow their budgets.  This package
+proves the pipeline's resilience invariants *by construction*: it wraps
+the locator, classifier, subprogram transformer, and trace parser with
+deterministic, seeded fault plans (raise-at-Nth-call, corrupt-trace-
+line, budget-exhaustion) and drives a campaign over the 23-bug corpus
+asserting that
+
+- the pipeline always completes,
+- only the targeted bug(s) are quarantined and every other bug is
+  fixed,
+- the repaired module passes ``verify_module``, ``assert_fixed`` (for
+  the non-quarantined bugs), and ``do_no_harm`` — i.e. the module is
+  never left half-mutated.
+
+Run the full campaign from the command line::
+
+    PYTHONPATH=src python -m repro.faultinject
+"""
+
+from .campaign import CampaignResult, RunRecord, default_plans, run_campaign
+from .injector import corrupt_trace_text, install_faults
+from .plans import FaultPlan, InjectedFault
+
+__all__ = [
+    "CampaignResult",
+    "corrupt_trace_text",
+    "default_plans",
+    "FaultPlan",
+    "InjectedFault",
+    "install_faults",
+    "run_campaign",
+    "RunRecord",
+]

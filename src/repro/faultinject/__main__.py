@@ -1,0 +1,25 @@
+"""Command-line entry: run the fault-injection campaign.
+
+::
+
+    PYTHONPATH=src python -m repro.faultinject
+
+Prints one line per (case, plan) run and exits nonzero if any
+resilience invariant was violated.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .campaign import run_campaign
+
+
+def main() -> int:
+    result = run_campaign(progress=lambda record: print(record.describe()))
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

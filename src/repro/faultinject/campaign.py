@@ -1,0 +1,224 @@
+"""The fault-injection campaign over the 23-bug corpus.
+
+For every (corpus case, fault plan) pair the campaign builds a fresh
+target, collects its pmemcheck trace, injects exactly one deterministic
+fault, runs the repair pipeline end to end, and checks the resilience
+invariants:
+
+1. the pipeline **completes** (no exception escapes under
+   ``keep_going``),
+2. only the **targeted** bug(s) are quarantined; every bug still
+   detectable after the fault is fixed (re-detection finds at most the
+   quarantined bugs, plus — for parser faults — bugs whose trace
+   records were destroyed),
+3. the repaired module passes ``verify_module`` and **do_no_harm**
+   against a freshly built original: the module is never half-mutated.
+
+Every record is deterministic: re-running a campaign with the same plan
+list reproduces the same outcomes line for line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..core.hippocrates import Hippocrates
+from ..core.validate import do_no_harm
+from ..corpus.bugs import BugCase, all_cases
+from ..detect import pmemcheck_run
+from ..ir.verifier import verify_module
+from ..trace.pmemcheck import dump_trace
+from .injector import corrupt_trace_text, install_faults
+from .plans import FaultPlan
+
+#: one (function, source location, bug kind) — stable across module
+#: rebuilds, unlike instruction iids
+BugKey = Tuple[str, str, object]
+
+
+def _bug_keys(bugs) -> Set[BugKey]:
+    return {(b.store.function, str(b.store.loc), b.kind) for b in bugs}
+
+
+@dataclass
+class RunRecord:
+    """One (case, plan) execution and its invariant verdicts."""
+
+    case_id: str
+    plan: FaultPlan
+    ok: bool = True
+    #: invariant violations (empty when ok)
+    problems: List[str] = field(default_factory=list)
+    bugs_detected: int = 0
+    bugs_remaining: int = 0
+    quarantined: int = 0
+    downgrades: int = 0
+    trace_warnings: int = 0
+    fault_fired: bool = False
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        fired = "fired" if self.fault_fired else "dormant"
+        line = (
+            f"[{status}] {self.case_id} × {self.plan.name} ({fired}): "
+            f"{self.bugs_detected} detected, {self.bugs_remaining} remaining, "
+            f"{self.quarantined} quarantined, {self.downgrades} downgrade(s), "
+            f"{self.trace_warnings} trace warning(s)"
+        )
+        for problem in self.problems:
+            line += f"\n    !! {problem}"
+        return line
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign, with aggregate verdicts."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    @property
+    def fired_count(self) -> int:
+        return sum(1 for r in self.records if r.fault_fired)
+
+    def failures(self) -> List[RunRecord]:
+        return [r for r in self.records if not r.ok]
+
+    def summary(self) -> str:
+        verdict = "all invariants held" if self.ok else (
+            f"{len(self.failures())} run(s) VIOLATED invariants"
+        )
+        return (
+            f"fault-injection campaign: {len(self.records)} run(s), "
+            f"{self.fired_count} fault(s) fired; {verdict}"
+        )
+
+
+def default_plans() -> List[FaultPlan]:
+    """The standard fault matrix: every component, every failure shape.
+
+    Nth-call indices > 1 land the fault mid-pipeline (after some bugs
+    were already processed), exercising partial-progress isolation; on
+    cases with fewer calls the fault stays dormant, which must be a
+    clean no-op run.
+    """
+    return [
+        FaultPlan("locator", nth=1),
+        FaultPlan("locator", nth=2),
+        FaultPlan("classifier", nth=1),
+        FaultPlan("transformer", nth=1),
+        FaultPlan("transformer", nth=2),
+        FaultPlan("parser", mode="corrupt-trace-line", seed=7, corrupt_lines=1),
+        FaultPlan("parser", mode="corrupt-trace-line", seed=13, corrupt_lines=3),
+        FaultPlan("budget", mode="budget-exhaustion", budget_items=0),
+    ]
+
+
+def run_one(case: BugCase, plan: FaultPlan) -> RunRecord:
+    """Execute one (case, plan) pair and check every invariant."""
+    record = RunRecord(case_id=case.case_id, plan=plan)
+
+    module = case.build()
+    detection, trace, interp = pmemcheck_run(module, case.drive)
+    record.bugs_detected = detection.bug_count
+
+    try:
+        if plan.target == "parser":
+            text, damaged = corrupt_trace_text(
+                dump_trace(trace), seed=plan.seed, lines=plan.corrupt_lines
+            )
+            fixer = Hippocrates(
+                module, text, interp.machine, "full",
+                keep_going=True, lenient=True,
+            )
+            if len(fixer.trace_warnings) != len(damaged):
+                record.problems.append(
+                    f"corrupted {len(damaged)} line(s) but lenient ingestion "
+                    f"warned about {len(fixer.trace_warnings)}"
+                )
+        else:
+            fixer = Hippocrates(
+                module, trace, interp.machine, "full", detection,
+                keep_going=True,
+            )
+            install_faults(fixer, plan)
+        report = fixer.fix()
+    except Exception as exc:  # invariant 1: the pipeline completes
+        record.ok = False
+        record.problems.append(
+            f"pipeline died instead of isolating the fault: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return record
+
+    record.quarantined = len(report.quarantined)
+    record.downgrades = len(report.downgrades)
+    record.trace_warnings = len(report.trace_warnings)
+    record.fault_fired = bool(
+        report.quarantined or report.downgrades or report.trace_warnings
+    )
+
+    # invariant 3a: the repaired module is structurally sound
+    try:
+        verify_module(module)
+    except Exception as exc:
+        record.problems.append(f"verify_module failed on repaired module: {exc}")
+
+    # invariant 2: every non-quarantined bug is fixed.  Re-detection may
+    # find only bugs the pipeline knowingly gave up on: quarantined ones
+    # and, for parser faults, bugs whose trace records were destroyed
+    # (at most one per corrupted line).
+    after, _, _ = pmemcheck_run(module, case.drive)
+    record.bugs_remaining = after.bug_count
+    remaining = _bug_keys(after.bugs)
+    excused = _bug_keys(q.bug for q in report.quarantined if q.bug is not None)
+    unexcused = remaining - excused
+    if plan.target == "parser":
+        if len(unexcused) > plan.corrupt_lines:
+            record.problems.append(
+                f"{len(unexcused)} bug(s) unfixed but only "
+                f"{plan.corrupt_lines} trace line(s) were corrupted"
+            )
+    elif unexcused:
+        record.problems.append(
+            f"unfixed bug(s) that were never quarantined: {sorted(unexcused)}"
+        )
+    if not record.fault_fired and record.bugs_remaining:
+        record.problems.append(
+            "fault never fired yet the clean run left bugs unfixed"
+        )
+
+    # invariant 3b: do-no-harm against a freshly built original
+    try:
+        do_no_harm(case.build(), module, case.drive)
+    except Exception as exc:
+        record.problems.append(f"do_no_harm failed: {exc}")
+
+    record.ok = not record.problems
+    return record
+
+
+def run_campaign(
+    plans: Optional[List[FaultPlan]] = None,
+    cases: Optional[List[BugCase]] = None,
+    progress=None,
+) -> CampaignResult:
+    """Run the full fault matrix: every plan against every corpus case.
+
+    :param plans: fault plans (default: :func:`default_plans`).
+    :param cases: corpus cases (default: the whole 23-bug corpus).
+    :param progress: optional callable receiving each finished
+        :class:`RunRecord` (the CLI passes a printer).
+    """
+    result = CampaignResult()
+    for case in cases if cases is not None else all_cases():
+        for plan in plans if plans is not None else default_plans():
+            record = run_one(case, plan)
+            result.records.append(record)
+            if progress is not None:
+                progress(record)
+    return result

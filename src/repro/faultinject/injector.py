@@ -1,0 +1,195 @@
+"""Fault installers: wrap pipeline components per a :class:`FaultPlan`.
+
+Injection is *surgical*: each installer wraps one seam of a live
+:class:`~repro.core.hippocrates.Hippocrates` instance —
+
+- ``locator`` — the per-bug store/flush resolution (Step 2),
+- ``classifier`` — the whole-program analysis build (Step 3),
+- ``transformer`` — persistent-subprogram cloning during apply (Step 4),
+- ``budget`` — the Andersen fixpoint's work budget,
+
+while :func:`corrupt_trace_text` damages a pmemcheck text log *before*
+ingestion (Step 1).  All faults are deterministic: raise-at-Nth plans
+count calls, corruption is seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..budget import Budget
+from ..core.hippocrates import Hippocrates
+from ..core.locate import Locator
+from ..trace.pmemcheck import parse_event
+from .plans import FaultPlan
+
+
+class _CallCounter:
+    """Counts calls; True exactly at the plan's Nth call."""
+
+    def __init__(self, nth: int):
+        self.nth = nth
+        self.calls = 0
+
+    def fires(self) -> bool:
+        self.calls += 1
+        return self.calls == self.nth
+
+
+class FaultyLocator:
+    """A locator proxy that fails the Nth store/flush resolution.
+
+    Only the per-bug resolution entry points (`locate_store`,
+    `locate_flush`) count toward the plan — call-site lookups made by
+    the hoisting heuristic are delegated untouched, so the fault lands
+    in the *locate* phase of exactly one bug.
+    """
+
+    def __init__(self, inner: Locator, plan: FaultPlan):
+        self._inner = inner
+        self._plan = plan
+        self._counter = _CallCounter(plan.nth)
+
+    def _maybe_fail(self) -> None:
+        if self._counter.fires():
+            raise self._plan.exception()
+
+    def locate_store(self, event):
+        self._maybe_fail()
+        return self._inner.locate_store(event)
+
+    def locate_flush(self, event):
+        self._maybe_fail()
+        return self._inner.locate_flush(event)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _install_locator_fault(fixer: Hippocrates, plan: FaultPlan) -> None:
+    fixer.locator = FaultyLocator(fixer.locator, plan)  # type: ignore[assignment]
+
+
+def _install_classifier_fault(fixer: Hippocrates, plan: FaultPlan) -> None:
+    original = fixer._classify
+    counter = _CallCounter(plan.nth)
+
+    def faulty_classify(mode: str):
+        if counter.fires():
+            raise plan.exception()
+        return original(mode)
+
+    fixer._classify = faulty_classify  # type: ignore[method-assign]
+
+
+def _install_transformer_fault(fixer: Hippocrates, plan: FaultPlan) -> None:
+    original_factory = fixer._make_transformer
+    counter = _CallCounter(plan.nth)
+
+    def faulty_factory():
+        transformer = original_factory()
+        original_clone = transformer.persistent_clone
+
+        def faulty_clone(fn_name: str):
+            # Raising on the Nth clone leaves earlier clones of the
+            # same fix already inserted — the exact half-mutated state
+            # the transaction journal must roll back.
+            if counter.fires():
+                raise plan.exception()
+            return original_clone(fn_name)
+
+        # Instance attribute shadows the bound method, so the
+        # transformer's own recursive persistent_clone calls are
+        # intercepted too.
+        transformer.persistent_clone = faulty_clone  # type: ignore[method-assign]
+        return transformer
+
+    fixer._make_transformer = faulty_factory  # type: ignore[method-assign]
+
+
+def _install_budget_fault(fixer: Hippocrates, plan: FaultPlan) -> None:
+    fixer.analysis_budget = Budget(
+        max_items=plan.budget_items, label="andersen fixpoint"
+    )
+
+
+def install_faults(fixer: Hippocrates, plan: FaultPlan) -> None:
+    """Wire one fault plan into a live pipeline instance.
+
+    ``parser`` plans cannot be installed here — the trace is parsed in
+    the constructor; corrupt the text with :func:`corrupt_trace_text`
+    first and build the fixer from the damaged log.
+    """
+    if plan.target == "locator":
+        _install_locator_fault(fixer, plan)
+    elif plan.target == "classifier":
+        _install_classifier_fault(fixer, plan)
+    elif plan.target == "transformer":
+        _install_transformer_fault(fixer, plan)
+    elif plan.target == "budget":
+        _install_budget_fault(fixer, plan)
+    else:
+        raise ValueError(
+            f"plan {plan.name!r} targets the parser; use corrupt_trace_text"
+        )
+
+
+# ---------------------------------------------------------------------------
+# trace corruption (the crash-truncated-log case)
+# ---------------------------------------------------------------------------
+
+#: record tags eligible for corruption.  BOUNDARY lines are excluded:
+#: losing a durability boundary changes which *epoch* every bug belongs
+#: to, which is a semantic change, not a parse fault.
+_CORRUPTIBLE = ("STORE;", "FLUSH;", "FENCE;")
+
+
+def _damage(line: str, rng: random.Random) -> str:
+    """One deterministic way to ruin a record (chosen by the RNG)."""
+    style = rng.randrange(4)
+    if style == 0:  # crash truncation: the write stopped mid-record
+        return line[: rng.randrange(3, max(4, len(line) // 2))]
+    if style == 1:  # field garbage: a hex address turned to noise
+        parts = line.split(";")
+        parts[rng.randrange(1, len(parts))] = "\x00garbage\x7f"
+        return ";".join(parts)
+    if style == 2:  # reordered fields (tag no longer first)
+        parts = line.split(";")
+        return ";".join(parts[1:] + parts[:1])
+    return "%" + line  # leading junk: unknown record tag
+
+
+def corrupt_trace_text(
+    text: str, seed: int = 0, lines: int = 1
+) -> Tuple[str, List[int]]:
+    """Deterministically corrupt ``lines`` event records of a text log.
+
+    Returns ``(corrupted_text, damaged_line_numbers)`` (1-based).  Every
+    damaged line is guaranteed unparseable — the RNG retries styles
+    until :func:`parse_event` rejects the result — so strict ingestion
+    must fail and lenient ingestion must produce exactly one
+    :class:`TraceWarning` per damaged line.
+    """
+    rng = random.Random(seed)
+    rows = text.splitlines()
+    candidates = [
+        i for i, row in enumerate(rows) if row.startswith(_CORRUPTIBLE)
+    ]
+    if not candidates:
+        return text, []
+    chosen = sorted(rng.sample(candidates, min(lines, len(candidates))))
+    damaged: List[int] = []
+    for index in chosen:
+        original = rows[index]
+        for _ in range(16):
+            mangled = _damage(original, rng)
+            try:
+                parse_event(mangled)
+            except Exception:
+                break  # good: the damage is visible to the parser
+        else:  # pragma: no cover - damage styles always break a record
+            mangled = "%corrupt%"
+        rows[index] = mangled
+        damaged.append(index + 1)
+    return "\n".join(rows) + ("\n" if text.endswith("\n") else ""), damaged

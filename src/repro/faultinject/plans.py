@@ -1,0 +1,71 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` names one component of the pipeline and one way it
+fails.  Plans are pure data — the :mod:`~repro.faultinject.injector`
+interprets them — so a campaign's fault matrix is reproducible from the
+plan list alone, and a failing combination can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+#: components a plan may target
+TARGETS = ("parser", "locator", "classifier", "transformer", "budget")
+
+#: failure shapes
+MODES = ("raise-at-nth", "corrupt-trace-line", "budget-exhaustion")
+
+
+class InjectedFault(ReproError):
+    """The exception raised by raise-at-Nth-call fault plans.
+
+    A :class:`ReproError` subclass so it flows through the same
+    quarantine/degrade paths a real subsystem failure would take.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault to inject into one pipeline component.
+
+    :param target: which component fails (see :data:`TARGETS`).
+    :param mode: how it fails (see :data:`MODES`).
+    :param nth: for ``raise-at-nth``: the 1-based call index that
+        raises; calls before it behave normally.
+    :param seed: for ``corrupt-trace-line``: the RNG seed choosing
+        which lines are corrupted and how.
+    :param corrupt_lines: for ``corrupt-trace-line``: how many event
+        lines to damage.
+    :param budget_items: for ``budget-exhaustion``: the analysis work
+        budget (0 exhausts immediately).
+    """
+
+    target: str
+    mode: str = "raise-at-nth"
+    nth: int = 1
+    seed: int = 0
+    corrupt_lines: int = 1
+    budget_items: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"unknown fault target {self.target!r}; use {TARGETS}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; use {MODES}")
+
+    @property
+    def name(self) -> str:
+        if self.mode == "raise-at-nth":
+            return f"{self.target}:raise@{self.nth}"
+        if self.mode == "corrupt-trace-line":
+            return f"parser:corrupt x{self.corrupt_lines} seed={self.seed}"
+        return f"budget:items={self.budget_items}"
+
+    def exception(self) -> InjectedFault:
+        """The exception a raise-at-Nth plan injects."""
+        return InjectedFault(
+            f"injected fault: {self.target} failure at call {self.nth}"
+        )

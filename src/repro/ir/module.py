@@ -47,6 +47,16 @@ class Module:
         self.functions[fn.name] = fn
         return fn
 
+    def remove_function(self, name: str) -> Optional[Function]:
+        """Remove a function by name (used by fix rollback).
+
+        Returns the removed function, or None if it was not present.
+        """
+        fn = self.functions.pop(name, None)
+        if fn is not None:
+            fn.parent = None
+        return fn
+
     def add_global(
         self,
         name: str,

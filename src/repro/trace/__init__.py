@@ -10,7 +10,7 @@ from .events import (
     TraceEvent,
     innermost,
 )
-from .pmemcheck import dump_event, dump_trace, load_trace, parse_event
+from .pmemcheck import TraceWarning, dump_event, dump_trace, load_trace, parse_event
 from .trace import PMTrace, TraceRecorder
 
 __all__ = [
@@ -28,4 +28,5 @@ __all__ = [
     "StoreEvent",
     "TraceEvent",
     "TraceRecorder",
+    "TraceWarning",
 ]

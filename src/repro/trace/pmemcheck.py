@@ -21,7 +21,8 @@ where ``<stack>`` is ``fn@file:line#iid`` frames joined by ``|``
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..errors import TraceError
 from .events import (
@@ -36,6 +37,23 @@ from .events import (
 from .trace import PMTrace
 
 _HEADER = "# pmemcheck-compatible PM operation trace (repro format v1)"
+
+
+@dataclass(frozen=True)
+class TraceWarning:
+    """One malformed record skipped during lenient trace ingestion.
+
+    Crash-truncated logs are routine for crashing PM systems; lenient
+    mode records what was dropped instead of aborting the whole repair.
+    """
+
+    line: int  # 1-based line number in the text log
+    message: str  # why the record was rejected
+    text: str  # the offending line (truncated for display)
+
+    def __str__(self) -> str:
+        shown = self.text if len(self.text) <= 80 else self.text[:77] + "..."
+        return f"line {self.line}: {self.message} ({shown!r})"
 
 
 def _format_stack(stack: CallStack) -> str:
@@ -125,12 +143,33 @@ def dump_trace(trace: PMTrace) -> str:
     return "\n".join(lines) + "\n"
 
 
-def load_trace(text: str) -> PMTrace:
-    """Parse a text log back into a :class:`PMTrace`."""
+def load_trace(
+    text: str,
+    strict: bool = True,
+    warnings: Optional[List[TraceWarning]] = None,
+) -> PMTrace:
+    """Parse a text log back into a :class:`PMTrace`.
+
+    In strict mode (the default) a malformed record raises
+    :class:`TraceError` carrying the 1-based line number.  With
+    ``strict=False`` — for the crash-truncated-log case — malformed
+    records are skipped and a :class:`TraceWarning` per dropped line is
+    appended to ``warnings`` (when provided); the surviving events
+    still form a usable trace, so every bug whose records survived can
+    be repaired.
+    """
     events: List[TraceEvent] = []
-    for raw in text.splitlines():
+    for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        events.append(parse_event(line))
+        try:
+            events.append(parse_event(line))
+        except TraceError as exc:
+            if strict:
+                raise TraceError(str(exc), line=line_no) from exc
+            if warnings is not None:
+                warnings.append(
+                    TraceWarning(line=line_no, message=str(exc), text=line)
+                )
     return PMTrace(events)

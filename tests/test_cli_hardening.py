@@ -1,0 +1,98 @@
+"""CLI failure-mode hardening: distinct exit codes, --lenient,
+--keep-going, and stderr quarantine summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXIT_CODES, main
+from repro.errors import (
+    BudgetExceeded,
+    FixError,
+    LocateError,
+    ReproError,
+    TraceError,
+    ValidationError,
+)
+from repro.ir import I64, ModuleBuilder, PTR, format_module
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A buggy module file plus its detect-produced trace file."""
+    mb = ModuleBuilder("cli")
+    b = mb.function("main", [], I64, source_file="cli.c")
+    p = b.call("pm_alloc", [64], PTR)
+    b.store(42, p)
+    b.call("emit", [b.load(p)])
+    b.ret(0)
+    ir = tmp_path / "app.ir"
+    ir.write_text(format_module(mb.module))
+    trace = tmp_path / "app.trace"
+    assert main(["detect", str(ir), "--trace-out", str(trace)]) == 1
+    return ir, trace
+
+
+def test_exit_code_table_is_ordered_most_specific_first():
+    codes = dict(EXIT_CODES)
+    assert codes[TraceError] == 3
+    assert codes[LocateError] == 4
+    assert codes[FixError] == 5
+    assert codes[ValidationError] == 6
+    assert codes[BudgetExceeded] == 7
+    assert codes[ReproError] == 2
+    classes = [cls for cls, _ in EXIT_CODES]
+    # subclasses must be matched before their bases
+    assert classes.index(LocateError) < classes.index(FixError)
+    assert classes.index(ValidationError) < classes.index(FixError)
+    assert classes.index(FixError) < classes.index(ReproError)
+
+
+def test_malformed_trace_exits_3(workspace, capsys):
+    ir, trace = workspace
+    text = trace.read_text().splitlines()
+    text[1] = text[1][:9]  # crash-truncate the STORE record
+    trace.write_text("\n".join(text) + "\n")
+
+    assert main(["fix", str(ir), "--trace", str(trace)]) == 3
+    assert "line 2:" in capsys.readouterr().err
+
+
+def test_lenient_flag_skips_malformed_lines(workspace, capsys):
+    ir, trace = workspace
+    lines = trace.read_text().splitlines()
+    lines.insert(2, "%%%garbage%%%")
+    trace.write_text("\n".join(lines) + "\n")
+
+    assert main(["fix", str(ir), "--trace", str(trace), "--lenient"]) == 0
+    captured = capsys.readouterr()
+    assert "warning: line 3:" in captured.err
+    assert "malformed trace line(s) skipped" in captured.out
+    assert main(["detect", str(ir)]) == 0  # the bug still got fixed
+
+
+def test_unlocatable_bug_exits_4(workspace, capsys):
+    ir, trace = workspace
+    # debug-info drift: the trace names a function the module lacks
+    trace.write_text(trace.read_text().replace("main@", "ghost@"))
+    assert main(["fix", str(ir), "--trace", str(trace)]) == 4
+    assert "error:" in capsys.readouterr().err
+
+
+def test_keep_going_quarantines_and_exits_1(workspace, capsys):
+    ir, trace = workspace
+    trace.write_text(trace.read_text().replace("main@", "ghost@"))
+    code = main(["fix", str(ir), "--trace", str(trace), "--keep-going"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "[quarantined:locate]" in captured.err
+    assert "LocateError" in captured.err
+    assert "1 bug(s) quarantined" in captured.out
+    # the (unfixed) module was still written out and is valid
+    assert main(["show", str(ir)]) == 0
+
+
+def test_missing_trace_file_exits_2(workspace, capsys):
+    ir, _ = workspace
+    assert main(["fix", str(ir), "--trace", str(ir.parent / "nope.trace")]) == 2
+    assert "error:" in capsys.readouterr().err

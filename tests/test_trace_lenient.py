@@ -1,0 +1,77 @@
+"""Lenient ingestion of malformed pmemcheck logs.
+
+The static corpus in ``tests/data/malformed_traces/`` covers the three
+real-world damage shapes: crash-truncated records, field-reordered
+records, and interleaved garbage.  Strict mode must refuse each file
+with the offending line number; lenient mode must skip exactly the
+damaged lines and repair every bug whose records survived.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from conftest import build_listing5_module, drive_main
+from repro.core import Hippocrates, assert_fixed
+from repro.errors import TraceError
+from repro.trace import TraceWarning, load_trace
+
+DATA = Path(__file__).parent / "data" / "malformed_traces"
+
+#: file -> (1-based damaged line numbers, surviving event count)
+CORPUS = {
+    "truncated.trace": ([4], 3),
+    "reordered.trace": ([2, 4], 3),
+    "garbage.trace": ([3, 5, 6], 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_strict_mode_raises_with_line_number(name):
+    text = (DATA / name).read_text()
+    first_bad = CORPUS[name][0][0]
+    with pytest.raises(TraceError) as info:
+        load_trace(text)
+    assert info.value.line == first_bad
+    assert f"line {first_bad}:" in str(info.value)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_lenient_mode_skips_exactly_the_damaged_lines(name):
+    bad_lines, survivors = CORPUS[name]
+    warnings = []
+    trace = load_trace((DATA / name).read_text(), strict=False, warnings=warnings)
+    assert len(trace) == survivors
+    assert [w.line for w in warnings] == bad_lines
+    for warning in warnings:
+        assert isinstance(warning, TraceWarning)
+        assert warning.message
+        assert f"line {warning.line}:" in str(warning)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_lenient_pipeline_repairs_surviving_bugs(name):
+    # every corpus file keeps listing5's missing-flush records intact,
+    # so the lenient pipeline must still produce a complete repair
+    module = build_listing5_module()
+    fixer = Hippocrates(module, (DATA / name).read_text(), lenient=True)
+    report = fixer.fix()
+    assert len(report.trace_warnings) == len(CORPUS[name][0])
+    assert report.bugs_fixed >= 1
+    assert "malformed trace line(s) skipped" in report.summary()
+    assert_fixed(module, drive_main)
+
+
+def test_strict_is_the_default_for_text_traces():
+    module = build_listing5_module()
+    with pytest.raises(TraceError):
+        Hippocrates(module, (DATA / "truncated.trace").read_text())
+
+
+def test_warning_text_is_truncated_for_display():
+    warning = TraceWarning(line=3, message="bad", text="x" * 200)
+    shown = str(warning)
+    assert "..." in shown
+    assert len(shown) < 200
