@@ -19,16 +19,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..apps.kvstore import KVStore, build_kvstore
 from ..core.fixes import HoistedFix
 from ..core.hippocrates import FixReport, Hippocrates
-from ..corpus.bugs import (
-    BugCase,
-    all_cases,
-    classify_fix,
-    compare_fix_kinds,
-    pmdk_cases,
-)
+from ..corpus.bugs import BugCase, all_cases, pmdk_cases
 from ..detect import pmemcheck_run
 from ..ir.module import Module
 from ..ir.printer import format_module
+from ..supervisor import (
+    BatchSupervisor,
+    CaseOutcome,
+    SupervisorConfig,
+    corpus_tasks,
+    run_case,
+)
 from ..workloads.ycsb import (
     CORE_WORKLOADS,
     FIG4_ORDER,
@@ -155,46 +156,31 @@ def run_fig4(
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class CaseOutcome:
-    case: BugCase
-    reports_found: int
-    reports_after_fix: int
-    fix_report: FixReport
-    fix_kinds: List[str]
-    comparison: Optional[str] = None
-
-    @property
-    def fixed(self) -> bool:
-        return self.reports_found > 0 and self.reports_after_fix == 0
-
-
-def run_case(case: BugCase, heuristic: str = "full") -> CaseOutcome:
-    """Detect, fix, and revalidate one corpus case."""
-    module = case.build()
-    detection, trace, interp = pmemcheck_run(module, case.drive)
-    fixer = Hippocrates(module, trace, interp.machine, heuristic=heuristic)
-    plan = fixer.compute_fixes()
-    fix_report = fixer.apply(plan)
-    after, _, _ = pmemcheck_run(module, case.drive)
-    kinds = sorted({classify_fix(f) for f in plan.fixes})
-    comparison = None
-    if case.developer_fix:
-        hippocrates_kind = kinds[0] if len(kinds) == 1 else ",".join(kinds)
-        comparison = compare_fix_kinds(hippocrates_kind, case.developer_fix)
-    return CaseOutcome(
-        case=case,
-        reports_found=detection.bug_count,
-        reports_after_fix=after.bug_count,
-        fix_report=fix_report,
-        fix_kinds=kinds,
-        comparison=comparison,
-    )
+# CaseOutcome/run_case live in repro.supervisor.tasks (re-exported here
+# for compatibility): the supervisor is the canonical owner of per-case
+# repair so batch runs and benchmarks share one code path.
 
 
 def run_effectiveness(heuristic: str = "full") -> List[CaseOutcome]:
-    """Fix and revalidate the full 23-bug corpus (§6.1)."""
-    return [run_case(case, heuristic) for case in all_cases()]
+    """Fix and revalidate the full 23-bug corpus (§6.1).
+
+    Routed through the :class:`BatchSupervisor` (in-process serial
+    mode, no journal) so corpus runs exercise the exact scheduling path
+    production batches use; the rich per-case outcomes are recovered
+    from the supervisor's in-process results.
+    """
+    supervisor = BatchSupervisor(
+        corpus_tasks(heuristic=heuristic),
+        config=SupervisorConfig(
+            mode="inprocess", heuristic=heuristic, max_retries=0,
+            task_timeout=600.0,
+        ),
+    )
+    report = supervisor.run()
+    if report.quarantined or report.interrupted:
+        bad = ", ".join(o.task_id for o in report.quarantined) or "interrupted"
+        raise RuntimeError(f"corpus batch did not complete cleanly: {bad}")
+    return [outcome.outcome_obj for outcome in report.outcomes]
 
 
 def run_fig3() -> List[CaseOutcome]:

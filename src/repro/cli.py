@@ -6,6 +6,8 @@ log in, fixed bitcode out), but over this package's textual formats::
     python -m repro run    app.ir --entry main --args 1 2
     python -m repro detect app.ir --entry main --trace-out app.trace
     python -m repro fix    app.ir --trace app.trace -o app.fixed.ir
+    python -m repro batch  --corpus --journal batch.journal
+    python -m repro batch  --resume --journal batch.journal
     python -m repro show   app.ir
 
 ``detect`` + ``fix`` compose exactly like the paper's Fig. 2: the trace
@@ -13,19 +15,32 @@ file produced by ``detect`` is the only coupling between the two steps,
 so the fix step can run on a different build of the module (bug
 localization falls back to function + source line).
 
+``batch`` runs many repairs under the crash-safe supervisor
+(:mod:`repro.supervisor`): corpus cases and/or module+trace pairs go
+through watchdogged worker subprocesses, every state transition is
+journaled write-ahead, and after a hard kill ``--resume`` replays
+completed tasks from the journal and finishes the rest — the final
+aggregate report is byte-identical to an uninterrupted run.
+
+Every file this CLI writes (fixed modules, traces, journals, reports)
+is written atomically — temp file in the destination directory, fsync,
+``os.replace`` — so a crash mid-write never leaves a torn file.
+
 Exit codes distinguish failure classes so build scripts can branch:
 
 ====  =======================================================
 code  meaning
 ====  =======================================================
 0     success
-1     bugs found (``detect``) / some bugs quarantined (``fix``)
+1     bugs found (``detect``) / some bugs or tasks quarantined
+      (``fix``, ``batch``)
 2     malformed module, I/O failure, or other error
 3     malformed trace (:class:`TraceError`; strict mode)
 4     a bug could not be located in the IR (:class:`LocateError`)
 5     a fix could not be computed/applied (:class:`FixError`)
 6     the fixed module failed validation (:class:`ValidationError`)
 7     a resource budget ran out (:class:`BudgetExceeded`)
+8     ``batch`` drained cleanly after SIGINT/SIGTERM (resumable)
 ====  =======================================================
 """
 
@@ -45,6 +60,7 @@ from .errors import (
     TraceError,
     ValidationError,
 )
+from .fsutil import atomic_write_text
 from .interp import Interpreter, SimulatedCrash
 from .ir import format_module, parse_module, verify_module
 from .trace import dump_trace
@@ -60,6 +76,9 @@ EXIT_CODES = (
     (ReproError, 2),
     (OSError, 2),
 )
+
+#: ``batch`` exit code after a clean SIGINT/SIGTERM drain
+EXIT_INTERRUPTED = 8
 
 
 def _load_module(path: str):
@@ -101,8 +120,7 @@ def cmd_detect(ns: argparse.Namespace) -> int:
     interp = _run_entry(module, ns.entry, [int(a, 0) for a in ns.args])
     trace = interp.machine.trace
     if ns.trace_out:
-        with open(ns.trace_out, "w") as handle:
-            handle.write(dump_trace(trace))
+        atomic_write_text(ns.trace_out, dump_trace(trace))
         print(f"trace ({len(trace)} events) written to {ns.trace_out}")
     detection = check_trace(trace)
     print(detection.summary())
@@ -119,6 +137,7 @@ def cmd_fix(ns: argparse.Namespace) -> int:
         heuristic=ns.heuristic,
         keep_going=ns.keep_going,
         lenient=ns.lenient,
+        trace_source=ns.trace,
     )
     for warning in fixer.trace_warnings:
         print(f"warning: {warning}", file=sys.stderr)
@@ -131,9 +150,81 @@ def cmd_fix(ns: argparse.Namespace) -> int:
     for quarantined in report.quarantined:
         print(quarantined.describe(), file=sys.stderr)
     output_path = ns.output or ns.module
-    with open(output_path, "w") as handle:
-        handle.write(format_module(module))
+    atomic_write_text(output_path, format_module(module))
     print(f"fixed module written to {output_path}")
+    return 1 if report.quarantined else 0
+
+
+def cmd_batch(ns: argparse.Namespace) -> int:
+    """Run (or resume) a batch of repairs under the supervisor."""
+    from .supervisor import (
+        RepairTask,
+        SupervisorConfig,
+        corpus_tasks,
+        run_batch,
+    )
+
+    tasks: List[RepairTask] = []
+    if ns.corpus or ns.cases:
+        tasks.extend(corpus_tasks(ns.cases or None, heuristic=ns.heuristic))
+    for spec in ns.task or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(
+                f"bad --task {spec!r}; use MODULE:TRACE[:OUTPUT]"
+            )
+        module_path, trace_path = parts[0], parts[1]
+        output_path = parts[2] if len(parts) == 3 else None
+        tasks.append(
+            RepairTask(
+                task_id=module_path,
+                kind="file",
+                module_path=module_path,
+                trace_path=trace_path,
+                output_path=output_path,
+                heuristic=ns.heuristic,
+                lenient=ns.lenient,
+            )
+        )
+    if not tasks:
+        raise ReproError("nothing to do: pass --corpus, --cases, or --task")
+
+    config = SupervisorConfig(
+        mode=ns.mode,
+        jobs=ns.jobs,
+        task_timeout=ns.task_timeout,
+        max_retries=ns.retries,
+        heuristic=ns.heuristic,
+    )
+
+    def progress(event: str, task_id: str, detail: str = "") -> None:
+        suffix = f" ({detail})" if detail else ""
+        print(f"[{event}] {task_id}{suffix}", file=sys.stderr)
+
+    report = run_batch(
+        tasks,
+        journal_path=ns.journal,
+        resume=ns.resume,
+        config=config,
+        progress=progress,
+    )
+    print(report.summary())
+    for outcome in report.quarantined:
+        print(
+            f"[quarantined:task] {outcome.task_id} after "
+            f"{outcome.attempts} attempt(s): {outcome.error}",
+            file=sys.stderr,
+        )
+    if ns.report_out:
+        atomic_write_text(ns.report_out, report.canonical_json())
+        print(f"canonical report written to {ns.report_out}")
+    if report.interrupted:
+        print(
+            f"interrupted; resume with: repro batch --resume "
+            f"--journal {ns.journal}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 1 if report.quarantined else 0
 
 
@@ -188,6 +279,83 @@ def build_parser() -> argparse.ArgumentParser:
         "code 1) instead of aborting on the first error",
     )
     fix.set_defaults(fn=cmd_fix)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run many repairs under the crash-safe supervisor "
+        "(journaled; resumable after a hard kill)",
+    )
+    batch.add_argument(
+        "--corpus",
+        action="store_true",
+        help="repair the whole 23-bug reproduction corpus",
+    )
+    batch.add_argument(
+        "--cases",
+        nargs="*",
+        help="corpus case ids to repair (implies --corpus for those cases)",
+    )
+    batch.add_argument(
+        "--task",
+        action="append",
+        metavar="MODULE:TRACE[:OUTPUT]",
+        help="repair one module from one trace file (repeatable); the "
+        "fixed module is written atomically to OUTPUT (default: in place)",
+    )
+    batch.add_argument(
+        "--journal",
+        default="batch.journal",
+        help="write-ahead checkpoint journal path (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed tasks from the journal and run the rest; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="concurrent worker subprocesses (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("auto", "subprocess", "inprocess"),
+        default="auto",
+        help="worker execution mode; auto degrades to in-process serial "
+        "execution when subprocesses are unavailable (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--task-timeout",
+        type=float,
+        default=60.0,
+        help="per-task wall-time budget in seconds before the watchdog "
+        "kills the worker (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries (with backoff) before a task is quarantined "
+        "(default: %(default)s)",
+    )
+    batch.add_argument(
+        "--heuristic",
+        choices=("full", "off"),
+        default="full",
+        help="hoisting heuristic for every task",
+    )
+    batch.add_argument(
+        "--lenient",
+        action="store_true",
+        help="parse --task trace files leniently",
+    )
+    batch.add_argument(
+        "--report-out",
+        help="write the canonical aggregate report (JSON) here atomically",
+    )
+    batch.set_defaults(fn=cmd_batch)
     return parser
 
 

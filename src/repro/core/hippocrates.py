@@ -150,6 +150,33 @@ class FixReport:
     def bugs_quarantined(self) -> int:
         return len(self.quarantined)
 
+    def as_record(self) -> dict:
+        """The deterministic, JSON-serializable form of this report.
+
+        The task-granular entry point for batch supervision: a worker
+        subprocess ships this dict across its pipe, the supervisor's
+        write-ahead journal persists it, and a resumed batch replays it
+        — so it must contain only facts that an identical re-execution
+        reproduces bit-for-bit.  Wall-clock time and peak memory are
+        deliberately excluded (report them from the live object).
+        """
+        return {
+            "heuristic": self.heuristic,
+            "heuristic_effective": self.heuristic_effective or self.heuristic,
+            "bugs_fixed": self.bugs_fixed,
+            "fixes_applied": self.fixes_applied,
+            "intraprocedural_count": self.intraprocedural_count,
+            "interprocedural_count": self.interprocedural_count,
+            "hoist_depths": list(self.hoist_depths),
+            "inserted_instructions": self.inserted_instructions,
+            "functions_created": sorted(self.functions_created),
+            "ir_size_before": self.ir_size_before,
+            "ir_size_after": self.ir_size_after,
+            "quarantined": len(self.quarantined),
+            "downgrades": len(self.downgrades),
+            "trace_warnings": len(self.trace_warnings),
+        }
+
     def summary(self) -> str:
         text = (
             f"fixed {self.bugs_fixed} bug(s) with {self.fixes_applied} fix(es) "
@@ -192,6 +219,9 @@ class Hippocrates:
     :param analysis_budget: optional :class:`~repro.budget.Budget`
         bounding the Andersen fixpoint; exceeding it triggers a
         heuristic downgrade rather than a failure.
+    :param trace_source: the filename the textual trace came from;
+        stamped into every :class:`TraceWarning` so multi-file batch
+        logs stay attributable.
     """
 
     def __init__(
@@ -205,6 +235,7 @@ class Hippocrates:
         keep_going: bool = True,
         lenient: bool = False,
         analysis_budget: Optional[Budget] = None,
+        trace_source: str = "",
     ):
         if heuristic not in HEURISTICS:
             raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
@@ -219,7 +250,10 @@ class Hippocrates:
         self.downgrades: List[HeuristicDowngrade] = []
         if isinstance(trace, str):
             self.trace = load_trace(
-                trace, strict=not lenient, warnings=self.trace_warnings
+                trace,
+                strict=not lenient,
+                warnings=self.trace_warnings,
+                source=trace_source,
             )
         else:
             self.trace = trace
@@ -445,7 +479,14 @@ class Hippocrates:
                 transformer = self._apply_one(fix, transformer, txn)
                 verify_module(self.module)
             except Exception as exc:
-                txn.rollback()
+                try:
+                    txn.rollback()
+                except Exception as rollback_exc:
+                    # Double failure: the rollback itself broke.  Chain
+                    # the rollback error onto the original exception so
+                    # the root cause stays visible, and never quarantine
+                    # — the module's integrity is unknown.
+                    raise rollback_exc from exc
                 if not self.keep_going:
                     raise
                 bugs = fix.bugs or [None]  # type: ignore[list-item]

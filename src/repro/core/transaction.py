@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, TYPE_CHECKING
 
+from ..errors import RollbackError
 from ..ir.instructions import Instruction
 from ..ir.module import Module
 
@@ -89,9 +90,29 @@ class FixTransaction:
         self._done = True
 
     def rollback(self) -> None:
-        """Undo every recorded mutation, most recent first."""
+        """Undo every recorded mutation, most recent first.
+
+        A failing undo action does not stop the rollback: the remaining
+        actions still run (restoring as much state as possible), then a
+        :class:`~repro.errors.RollbackError` is raised describing every
+        undo that failed.  Callers unwinding from an original failure
+        must chain it (``raise rollback_error from original``) so the
+        root cause is never masked by the double failure.
+        """
         if self._done:
             return
+        failures: List[BaseException] = []
         while self._undo:
-            self._undo.pop()()
+            undo = self._undo.pop()
+            try:
+                undo()
+            except Exception as exc:
+                failures.append(exc)
         self._done = True
+        if failures:
+            detail = "; ".join(f"{type(e).__name__}: {e}" for e in failures)
+            error = RollbackError(
+                f"rollback failed ({len(failures)} undo action(s) raised): {detail}"
+            )
+            error.__context__ = failures[0]
+            raise error

@@ -80,6 +80,16 @@ class ValidationError(FixError):
     """A fixed module still contains durability bugs (should never happen)."""
 
 
+class RollbackError(FixError):
+    """A fix-transaction rollback itself failed (double failure).
+
+    The module may be left partially mutated, so this is never
+    quarantined-and-continued: it propagates even under ``keep_going``.
+    ``__cause__`` is the original failure that triggered the rollback;
+    ``__context__`` is the undo action's own exception.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A resource budget (wall clock, states, fixpoint work) ran out.
 

@@ -2,11 +2,13 @@
 
 Real-world PM diagnostic output is messy — crash-truncated logs,
 debug-info drift, analyses that blow their budgets.  This package
-proves the pipeline's resilience invariants *by construction*: it wraps
-the locator, classifier, subprogram transformer, and trace parser with
-deterministic, seeded fault plans (raise-at-Nth-call, corrupt-trace-
-line, budget-exhaustion) and drives a campaign over the 23-bug corpus
-asserting that
+proves the pipeline's resilience invariants *by construction*, at two
+levels:
+
+**In-process** (PR 1): it wraps the locator, classifier, subprogram
+transformer, and trace parser with deterministic, seeded fault plans
+(raise-at-Nth-call, corrupt-trace-line, budget-exhaustion) and drives a
+campaign over the 23-bug corpus asserting that
 
 - the pipeline always completes,
 - only the targeted bug(s) are quarantined and every other bug is
@@ -15,14 +17,30 @@ asserting that
   the non-quarantined bugs), and ``do_no_harm`` — i.e. the module is
   never left half-mutated.
 
-Run the full campaign from the command line::
+**Process-level** (PR 2): plans targeting the batch supervisor
+(``hang-worker``, ``kill-worker-at-nth``, ``kill-supervisor-at-nth``,
+``torn-journal-write``) drive the kill/resume campaign in
+:mod:`~repro.faultinject.resume`, which SIGKILLs the supervisor at
+every checkpoint boundary of a corpus batch and asserts the resumed
+aggregate report is byte-identical to an uninterrupted run.
 
-    PYTHONPATH=src python -m repro.faultinject
+Run the campaigns from the command line::
+
+    PYTHONPATH=src python -m repro.faultinject                    # in-process matrix
+    PYTHONPATH=src python -m repro.faultinject --resume-campaign  # kill/resume matrix
 """
 
 from .campaign import CampaignResult, RunRecord, default_plans, run_campaign
 from .injector import corrupt_trace_text, install_faults
 from .plans import FaultPlan, InjectedFault
+from .resume import (
+    ResumeCampaignResult,
+    ResumeRecord,
+    run_kill_resume,
+    run_resume_campaign,
+    run_worker_fault_checks,
+    tear_journal_tail,
+)
 
 __all__ = [
     "CampaignResult",
@@ -31,6 +49,12 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "install_faults",
+    "ResumeCampaignResult",
+    "ResumeRecord",
     "run_campaign",
+    "run_kill_resume",
+    "run_resume_campaign",
+    "run_worker_fault_checks",
     "RunRecord",
+    "tear_journal_tail",
 ]

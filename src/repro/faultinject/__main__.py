@@ -1,21 +1,66 @@
-"""Command-line entry: run the fault-injection campaign.
+"""Command-line entry: run the fault-injection campaigns.
 
 ::
 
     PYTHONPATH=src python -m repro.faultinject
+    PYTHONPATH=src python -m repro.faultinject --resume-campaign
+    PYTHONPATH=src python -m repro.faultinject --resume-campaign \\
+        --journal-dir journals --cases PMDK-447 P-CLHT
 
-Prints one line per (case, plan) run and exits nonzero if any
-resilience invariant was violated.
+The default runs the in-process fault matrix (13 cases x 8 plans);
+``--resume-campaign`` runs the process-level kill/resume matrix
+(SIGKILL at every checkpoint boundary + torn journal tails + the
+worker hang/kill checks).  Prints one line per run and exits nonzero
+if any resilience invariant was violated.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import List, Optional
 
-from .campaign import run_campaign
 
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.faultinject")
+    parser.add_argument(
+        "--resume-campaign",
+        action="store_true",
+        help="run the kill-supervisor-at-every-checkpoint resume matrix "
+        "instead of the in-process fault matrix",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        help="directory for the resume campaign's journals (failing runs "
+        "leave their journal behind for post-mortem; default: a temp dir)",
+    )
+    parser.add_argument(
+        "--cases",
+        nargs="*",
+        help="corpus case ids to restrict the campaign to (default: all)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("inprocess", "subprocess", "auto"),
+        default="inprocess",
+        help="supervisor execution mode for the resume campaign",
+    )
+    ns = parser.parse_args(argv)
 
-def main() -> int:
+    if ns.resume_campaign:
+        from .resume import run_resume_campaign
+
+        result = run_resume_campaign(
+            case_ids=ns.cases or None,
+            mode=ns.mode,
+            journal_dir=ns.journal_dir,
+            progress=print,
+        )
+        print(result.summary())
+        return 0 if result.ok else 1
+
+    from .campaign import run_campaign
+
     result = run_campaign(progress=lambda record: print(record.describe()))
     print(result.summary())
     return 0 if result.ok else 1

@@ -12,11 +12,44 @@ from dataclasses import dataclass
 
 from ..errors import ReproError
 
-#: components a plan may target
-TARGETS = ("parser", "locator", "classifier", "transformer", "budget")
+#: components a plan may target.  The first five are in-process seams
+#: of one repair pipeline; the last three are process-level seams of
+#: the batch supervisor (PR 2).
+TARGETS = (
+    "parser",
+    "locator",
+    "classifier",
+    "transformer",
+    "budget",
+    "worker",
+    "supervisor",
+    "journal",
+)
 
-#: failure shapes
-MODES = ("raise-at-nth", "corrupt-trace-line", "budget-exhaustion")
+#: failure shapes.  Process-level modes: ``hang-worker`` wedges a
+#: worker forever (a stuck Andersen fixpoint — the watchdog must kill
+#: it); ``kill-worker-at-nth`` makes the worker on the Nth batch task
+#: die silently (no exit status ceremony, no result); ``kill-
+#: supervisor-at-nth`` SIGKILLs the supervisor itself right after its
+#: Nth journal checkpoint; ``torn-journal-write`` tears the journal's
+#: tail record mid-CRC, as a crash during ``write(2)`` would.
+MODES = (
+    "raise-at-nth",
+    "corrupt-trace-line",
+    "budget-exhaustion",
+    "hang-worker",
+    "kill-worker-at-nth",
+    "kill-supervisor-at-nth",
+    "torn-journal-write",
+)
+
+#: which modes make sense for which targets (None = the legacy
+#: in-process targets, which all use the first three modes)
+_PROCESS_MODES = {
+    "worker": ("hang-worker", "kill-worker-at-nth"),
+    "supervisor": ("kill-supervisor-at-nth",),
+    "journal": ("torn-journal-write",),
+}
 
 
 class InjectedFault(ReproError):
@@ -41,6 +74,9 @@ class FaultPlan:
         lines to damage.
     :param budget_items: for ``budget-exhaustion``: the analysis work
         budget (0 exhausts immediately).
+    :param attempts: for worker faults: how many attempts of the
+        targeted task the fault affects (1 = first attempt only, so the
+        retry succeeds; 0 = every attempt, so the task is quarantined).
     """
 
     target: str
@@ -49,12 +85,26 @@ class FaultPlan:
     seed: int = 0
     corrupt_lines: int = 1
     budget_items: int = 0
+    attempts: int = 1
 
     def __post_init__(self) -> None:
         if self.target not in TARGETS:
             raise ValueError(f"unknown fault target {self.target!r}; use {TARGETS}")
         if self.mode not in MODES:
             raise ValueError(f"unknown fault mode {self.mode!r}; use {MODES}")
+        process_modes = _PROCESS_MODES.get(self.target)
+        if process_modes is not None and self.mode not in process_modes:
+            raise ValueError(
+                f"target {self.target!r} supports modes {process_modes}, "
+                f"not {self.mode!r}"
+            )
+        if process_modes is None and self.mode not in (
+            "raise-at-nth", "corrupt-trace-line", "budget-exhaustion"
+        ):
+            raise ValueError(
+                f"mode {self.mode!r} needs a process-level target "
+                f"{tuple(_PROCESS_MODES)}, not {self.target!r}"
+            )
 
     @property
     def name(self) -> str:
@@ -62,6 +112,16 @@ class FaultPlan:
             return f"{self.target}:raise@{self.nth}"
         if self.mode == "corrupt-trace-line":
             return f"parser:corrupt x{self.corrupt_lines} seed={self.seed}"
+        if self.mode == "hang-worker":
+            scope = "always" if self.attempts == 0 else f"x{self.attempts}"
+            return f"worker:hang@task{self.nth} {scope}"
+        if self.mode == "kill-worker-at-nth":
+            scope = "always" if self.attempts == 0 else f"x{self.attempts}"
+            return f"worker:kill@task{self.nth} {scope}"
+        if self.mode == "kill-supervisor-at-nth":
+            return f"supervisor:kill@checkpoint{self.nth}"
+        if self.mode == "torn-journal-write":
+            return f"journal:torn-tail seed={self.seed}"
         return f"budget:items={self.budget_items}"
 
     def exception(self) -> InjectedFault:

@@ -1,0 +1,273 @@
+"""Repair tasks: the unit of work the batch supervisor schedules.
+
+A :class:`RepairTask` is pure, JSON-serializable data — a worker
+subprocess can rebuild everything it needs from the spec alone:
+
+- ``corpus`` tasks name a case from the 23-bug corpus by id; the worker
+  rebuilds the module, re-collects the trace, repairs, and revalidates
+  (the supervisor-scheduled form of :func:`run_case`).
+- ``file`` tasks name a module file + pmemcheck trace file (+ optional
+  output path): the ``repro fix`` workflow, batchable.
+
+Execution is **deterministic**: :func:`execute_task` returns a
+:class:`TaskResult` whose ``record`` contains only reproducible facts
+(counts, fix kinds, a SHA-256 of the fixed module's IR) — no wall-clock
+time, no memory numbers, no attempt counters.  That determinism is what
+lets a resumed batch replay completed tasks from the journal and still
+produce a byte-identical aggregate report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.hippocrates import FixReport, Hippocrates
+from ..corpus.bugs import BugCase, all_cases, classify_fix, compare_fix_kinds
+from ..detect import pmemcheck_run
+from ..errors import ReproError
+from ..ir.printer import format_module
+
+#: task kinds
+KINDS = ("corpus", "file")
+
+
+class TaskError(ReproError):
+    """A task spec was malformed or named an unknown corpus case."""
+
+
+# ---------------------------------------------------------------------------
+# per-case repair (previously bench.harness.run_case; the supervisor is
+# now the canonical owner so corpus runs route through one code path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseOutcome:
+    """Detect-fix-revalidate outcome for one corpus case."""
+
+    case: BugCase
+    reports_found: int
+    reports_after_fix: int
+    fix_report: FixReport
+    fix_kinds: List[str]
+    comparison: Optional[str] = None
+    #: the repaired module (for digesting / further inspection)
+    module: Any = None
+
+    @property
+    def fixed(self) -> bool:
+        return self.reports_found > 0 and self.reports_after_fix == 0
+
+
+def run_case(case: BugCase, heuristic: str = "full") -> CaseOutcome:
+    """Detect, fix, and revalidate one corpus case."""
+    module = case.build()
+    detection, trace, interp = pmemcheck_run(module, case.drive)
+    fixer = Hippocrates(module, trace, interp.machine, heuristic=heuristic)
+    plan = fixer.compute_fixes()
+    fix_report = fixer.apply(plan)
+    after, _, _ = pmemcheck_run(module, case.drive)
+    kinds = sorted({classify_fix(f) for f in plan.fixes})
+    comparison = None
+    if case.developer_fix:
+        hippocrates_kind = kinds[0] if len(kinds) == 1 else ",".join(kinds)
+        comparison = compare_fix_kinds(hippocrates_kind, case.developer_fix)
+    return CaseOutcome(
+        case=case,
+        reports_found=detection.bug_count,
+        reports_after_fix=after.bug_count,
+        fix_report=fix_report,
+        fix_kinds=kinds,
+        comparison=comparison,
+        module=module,
+    )
+
+
+# ---------------------------------------------------------------------------
+# task specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepairTask:
+    """One schedulable unit of repair work (pure data).
+
+    :param task_id: unique within the batch; corpus tasks use the case
+        id, file tasks default to the module path.
+    :param kind: ``"corpus"`` or ``"file"``.
+    :param case_id: for corpus tasks: the :class:`BugCase` id.
+    :param module_path: for file tasks: the textual-IR module.
+    :param trace_path: for file tasks: the pmemcheck-style log.
+    :param output_path: for file tasks: where the fixed module goes
+        (None = repair in memory only, report the result).
+    :param heuristic: hoisting heuristic mode.
+    :param lenient: skip malformed trace lines (file tasks).
+    """
+
+    task_id: str
+    kind: str = "corpus"
+    case_id: str = ""
+    module_path: str = ""
+    trace_path: str = ""
+    output_path: Optional[str] = None
+    heuristic: str = "full"
+    lenient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise TaskError(f"unknown task kind {self.kind!r}; use {KINDS}")
+        if self.kind == "corpus" and not self.case_id:
+            raise TaskError("corpus task needs a case_id")
+        if self.kind == "file" and not (self.module_path and self.trace_path):
+            raise TaskError("file task needs module_path and trace_path")
+
+    def to_spec(self) -> Dict[str, Any]:
+        """The JSON form shipped to a worker subprocess."""
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "case_id": self.case_id,
+            "module_path": self.module_path,
+            "trace_path": self.trace_path,
+            "output_path": self.output_path,
+            "heuristic": self.heuristic,
+            "lenient": self.lenient,
+        }
+
+    @staticmethod
+    def from_spec(spec: Dict[str, Any]) -> "RepairTask":
+        return RepairTask(
+            task_id=spec["task_id"],
+            kind=spec.get("kind", "corpus"),
+            case_id=spec.get("case_id", ""),
+            module_path=spec.get("module_path", ""),
+            trace_path=spec.get("trace_path", ""),
+            output_path=spec.get("output_path"),
+            heuristic=spec.get("heuristic", "full"),
+            lenient=bool(spec.get("lenient", False)),
+        )
+
+
+def corpus_tasks(
+    case_ids: Optional[List[str]] = None, heuristic: str = "full"
+) -> List[RepairTask]:
+    """Build the corpus batch (default: every case, corpus order)."""
+    known = {case.case_id: case for case in all_cases()}
+    if case_ids is None:
+        case_ids = list(known)
+    tasks = []
+    for case_id in case_ids:
+        if case_id not in known:
+            raise TaskError(
+                f"unknown corpus case {case_id!r}; known: {sorted(known)}"
+            )
+        tasks.append(
+            RepairTask(task_id=case_id, kind="corpus", case_id=case_id,
+                       heuristic=heuristic)
+        )
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskResult:
+    """What one task execution produced.
+
+    ``record`` is the deterministic, journal-able form; ``outcome`` is
+    the rich in-memory object (available only when the task ran
+    in-process — it never crosses a subprocess boundary).
+    """
+
+    record: Dict[str, Any]
+    outcome: Optional[CaseOutcome] = None
+
+
+def _module_digest(module) -> str:
+    return hashlib.sha256(format_module(module).encode("utf-8")).hexdigest()
+
+
+def _corpus_record(task: RepairTask, outcome: CaseOutcome, digest: str) -> Dict[str, Any]:
+    report = outcome.fix_report
+    record = report.as_record()
+    record.update(
+        task=task.task_id,
+        kind=task.kind,
+        bugs_detected=outcome.reports_found,
+        bugs_remaining=outcome.reports_after_fix,
+        fixed=outcome.fixed,
+        fix_kinds=outcome.fix_kinds,
+        comparison=outcome.comparison,
+        module_sha256=digest,
+    )
+    return record
+
+
+def execute_task(task: RepairTask) -> TaskResult:
+    """Run one task to completion and return its deterministic result.
+
+    Corpus tasks rebuild everything from the case id, so re-executing a
+    task (after a worker death, say) starts from pristine state — the
+    module a retry repairs is never the half-repaired module of the
+    failed attempt.  File tasks write their output atomically
+    (:func:`~repro.fsutil.atomic_write_text`), so a kill mid-task never
+    tears the output module on disk.
+    """
+    if task.kind == "corpus":
+        case = _find_case(task.case_id)
+        outcome = run_case(case, heuristic=task.heuristic)
+        digest = _module_digest(outcome.module)
+        return TaskResult(
+            record=_corpus_record(task, outcome, digest), outcome=outcome
+        )
+    return _execute_file_task(task)
+
+
+def _find_case(case_id: str) -> BugCase:
+    for case in all_cases():
+        if case.case_id == case_id:
+            return case
+    raise TaskError(f"unknown corpus case {case_id!r}")
+
+
+def _execute_file_task(task: RepairTask) -> TaskResult:
+    from ..fsutil import atomic_write_text
+    from ..ir.parser import parse_module
+    from ..ir.verifier import verify_module
+
+    with open(task.module_path) as handle:
+        module = parse_module(handle.read())
+    verify_module(module)
+    with open(task.trace_path) as handle:
+        trace_text = handle.read()
+    fixer = Hippocrates(
+        module,
+        trace_text,
+        heuristic=task.heuristic,
+        lenient=task.lenient,
+        trace_source=task.trace_path,
+    )
+    plan = fixer.compute_fixes()
+    report = fixer.apply(plan)
+    fixed_text = format_module(module)
+    if task.output_path:
+        atomic_write_text(task.output_path, fixed_text)
+    record = report.as_record()
+    record.update(
+        task=task.task_id,
+        kind=task.kind,
+        bugs_detected=len(fixer.detection.bugs),
+        # file tasks have no replayable workload; quarantined bugs are
+        # the ones known to remain unfixed
+        bugs_remaining=len(report.quarantined),
+        fixed=not report.quarantined,
+        fix_kinds=sorted({classify_fix(f) for f in plan.fixes}),
+        comparison=None,
+        module_sha256=hashlib.sha256(fixed_text.encode("utf-8")).hexdigest(),
+    )
+    return TaskResult(record=record)

@@ -1,0 +1,92 @@
+"""Worker subprocess entry: ``python -m repro.supervisor.worker``.
+
+One worker runs one task and exits — process-per-task keeps the blast
+radius of a crash, hang, or leak to a single task, and lets the
+supervisor's watchdog use plain SIGKILL with no cleanup protocol.
+
+Protocol (line-oriented, over stdio):
+
+- stdin: a single JSON object — the :class:`~repro.supervisor.tasks.
+  RepairTask` spec.
+- stdout: ``HB <n>`` heartbeat lines every ``REPRO_WORKER_HEARTBEAT``
+  seconds from a daemon thread (so a worker stuck in a long Andersen
+  fixpoint still heartbeats, while a *dead* one goes silent);
+  then exactly one terminal line:
+
+  - ``RESULT <json>`` — the deterministic task result record, or
+  - ``FAIL <json>`` — ``{"error_type", "error", "traceback"}``.
+
+Exit codes: 0 after ``RESULT``, 3 after ``FAIL``, 2 on a protocol
+error (bad spec).  The supervisor trusts the *lines*, not the exit
+code — a worker that dies after ``RESULT`` already delivered its work.
+
+Fault injection (for the resilience harness) rides on environment
+variables so production specs stay clean:
+
+- ``REPRO_WORKER_FAULT=hang``  — heartbeat normally but never finish
+  (a stuck fixpoint; the watchdog must kill us);
+- ``REPRO_WORKER_FAULT=kill``  — SIGKILL ourselves mid-task (silent
+  death; heartbeat tracking must notice, not just waitpid).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import traceback
+
+
+def _start_heartbeats(interval: float) -> None:
+    def beat() -> None:
+        n = 0
+        while True:
+            n += 1
+            print(f"HB {n}", flush=True)
+            time.sleep(interval)
+
+    thread = threading.Thread(target=beat, name="heartbeat", daemon=True)
+    thread.start()
+
+
+def _inject_fault() -> None:
+    fault = os.environ.get("REPRO_WORKER_FAULT", "")
+    if fault == "hang":
+        while True:  # pragma: no cover - killed by the watchdog
+            time.sleep(0.5)
+    if fault == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def main() -> int:
+    from .tasks import RepairTask, execute_task
+
+    interval = float(os.environ.get("REPRO_WORKER_HEARTBEAT", "0.2"))
+    try:
+        spec = json.loads(sys.stdin.read())
+        task = RepairTask.from_spec(spec)
+    except Exception as exc:
+        print(f"FAIL {json.dumps({'error_type': type(exc).__name__, 'error': str(exc), 'traceback': ''})}",
+              flush=True)
+        return 2
+    _start_heartbeats(interval)
+    _inject_fault()
+    try:
+        result = execute_task(task)
+    except Exception as exc:
+        payload = {
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        print(f"FAIL {json.dumps(payload)}", flush=True)
+        return 3
+    print(f"RESULT {json.dumps(result.record, sort_keys=True)}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -10,7 +10,14 @@ from .events import (
     TraceEvent,
     innermost,
 )
-from .pmemcheck import TraceWarning, dump_event, dump_trace, load_trace, parse_event
+from .pmemcheck import (
+    MAX_TRACE_WARNINGS,
+    TraceWarning,
+    dump_event,
+    dump_trace,
+    load_trace,
+    parse_event,
+)
 from .trace import PMTrace, TraceRecorder
 
 __all__ = [
@@ -22,6 +29,7 @@ __all__ = [
     "FlushEvent",
     "innermost",
     "load_trace",
+    "MAX_TRACE_WARNINGS",
     "parse_event",
     "PMTrace",
     "StackFrame",

@@ -39,21 +39,38 @@ from .trace import PMTrace
 _HEADER = "# pmemcheck-compatible PM operation trace (repro format v1)"
 
 
+#: default cap on individual :class:`TraceWarning` records per load; a
+#: badly torn multi-megabyte log must not balloon the report (the
+#: paper's Redis traces exceed 350 MB — a corrupt one could otherwise
+#: produce millions of warning objects).  Excess lines are counted and
+#: summarized in one final record.
+MAX_TRACE_WARNINGS = 50
+
+
 @dataclass(frozen=True)
 class TraceWarning:
     """One malformed record skipped during lenient trace ingestion.
 
     Crash-truncated logs are routine for crashing PM systems; lenient
     mode records what was dropped instead of aborting the whole repair.
+    ``source`` is the originating filename (when known), so warnings
+    from a multi-file batch stay attributable; ``suppressed`` > 0 marks
+    the cap summary record ("N more suppressed") rather than a single
+    malformed line.
     """
 
-    line: int  # 1-based line number in the text log
+    line: int  # 1-based line number in the text log (0 for summaries)
     message: str  # why the record was rejected
     text: str  # the offending line (truncated for display)
+    source: str = ""  # originating file, "" when the text came inline
+    suppressed: int = 0  # cap summary: how many warnings it stands for
 
     def __str__(self) -> str:
+        where = f"{self.source}: " if self.source else ""
+        if self.suppressed:
+            return f"{where}{self.message}"
         shown = self.text if len(self.text) <= 80 else self.text[:77] + "..."
-        return f"line {self.line}: {self.message} ({shown!r})"
+        return f"{where}line {self.line}: {self.message} ({shown!r})"
 
 
 def _format_stack(stack: CallStack) -> str:
@@ -147,6 +164,8 @@ def load_trace(
     text: str,
     strict: bool = True,
     warnings: Optional[List[TraceWarning]] = None,
+    source: str = "",
+    max_warnings: int = MAX_TRACE_WARNINGS,
 ) -> PMTrace:
     """Parse a text log back into a :class:`PMTrace`.
 
@@ -157,8 +176,15 @@ def load_trace(
     appended to ``warnings`` (when provided); the surviving events
     still form a usable trace, so every bug whose records survived can
     be repaired.
+
+    Warning accumulation is bounded: after ``max_warnings`` individual
+    records (<= 0 = unbounded), further malformed lines are only
+    counted, and one final summary record ("N more suppressed") closes
+    the list.  ``source`` stamps every warning with the originating
+    filename for batch-log attribution.
     """
     events: List[TraceEvent] = []
+    suppressed = 0
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -168,8 +194,25 @@ def load_trace(
         except TraceError as exc:
             if strict:
                 raise TraceError(str(exc), line=line_no) from exc
-            if warnings is not None:
-                warnings.append(
-                    TraceWarning(line=line_no, message=str(exc), text=line)
+            if warnings is None:
+                continue
+            if max_warnings > 0 and len(warnings) >= max_warnings:
+                suppressed += 1
+                continue
+            warnings.append(
+                TraceWarning(
+                    line=line_no, message=str(exc), text=line, source=source
                 )
+            )
+    if suppressed and warnings is not None:
+        warnings.append(
+            TraceWarning(
+                line=0,
+                message=f"{suppressed} more malformed record(s) suppressed "
+                f"(cap {max_warnings})",
+                text="",
+                source=source,
+                suppressed=suppressed,
+            )
+        )
     return PMTrace(events)

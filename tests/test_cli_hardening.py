@@ -66,7 +66,8 @@ def test_lenient_flag_skips_malformed_lines(workspace, capsys):
 
     assert main(["fix", str(ir), "--trace", str(trace), "--lenient"]) == 0
     captured = capsys.readouterr()
-    assert "warning: line 3:" in captured.err
+    # warnings carry the source filename so batch logs stay attributable
+    assert f"warning: {trace}: line 3:" in captured.err
     assert "malformed trace line(s) skipped" in captured.out
     assert main(["detect", str(ir)]) == 0  # the bug still got fixed
 

@@ -342,3 +342,84 @@ def test_crash_explorer_budget_partial_results():
     strict = CrashExplorer(cache, image, budget=Budget(max_items=5))
     with pytest.raises(BudgetExceeded):
         strict.find_violation(lambda state: True, strict_budget=True)
+
+
+# ---------------------------------------------------------------------------
+# double failure: the rollback itself breaks
+# ---------------------------------------------------------------------------
+
+
+def test_rollback_failure_raises_rollback_error_with_context():
+    from repro.errors import RollbackError
+
+    class Fragile:
+        @property
+        def x(self):
+            return 1
+
+        @x.setter
+        def x(self, value):
+            raise RuntimeError("undo exploded")
+
+    class Probe:
+        color = "red"
+
+    module = build_two_bug_module()
+    probe, fragile = Probe(), Fragile()
+    txn = FixTransaction(module)
+    txn.track_attr(probe, "color")  # undone second (restores)
+    txn.track_attr(fragile, "x")  # undone first (raises)
+    probe.color = "blue"
+    with pytest.raises(RollbackError) as info:
+        txn.rollback()
+    # the failing undo did not stop the rest of the rollback
+    assert probe.color == "red"
+    assert "1 undo action(s) raised" in str(info.value)
+    assert "undo exploded" in str(info.value)
+    # the undo's own exception is chained as __context__
+    assert isinstance(info.value.__context__, RuntimeError)
+
+
+def test_rollback_failure_collects_every_failing_undo():
+    from repro.errors import RollbackError
+
+    module = build_two_bug_module()
+    txn = FixTransaction(module)
+
+    class Fragile:
+        @property
+        def x(self):
+            return 1
+
+        @x.setter
+        def x(self, value):
+            raise RuntimeError("boom")
+
+    txn.track_attr(Fragile(), "x")
+    txn.track_attr(Fragile(), "x")
+    with pytest.raises(RollbackError) as info:
+        txn.rollback()
+    assert "2 undo action(s) raised" in str(info.value)
+    # the transaction is done: a second rollback is a no-op
+    txn.rollback()
+
+
+def test_double_failure_chains_original_cause_through_apply(monkeypatch):
+    """apply(): when a fix fails AND its rollback fails, the raised
+    RollbackError carries the original failure as ``__cause__`` — the
+    root cause is never masked, and nothing is quarantined."""
+    from repro.errors import RollbackError
+
+    module = build_listing5_module()
+    _, trace, interp = pmemcheck_run(module, drive_main)
+    fixer = Hippocrates(module, trace, interp.machine, keep_going=True)
+    install_faults(fixer, FaultPlan("transformer", nth=1))
+
+    def broken_rollback(self):
+        raise RollbackError("rollback failed (simulated)")
+
+    monkeypatch.setattr(FixTransaction, "rollback", broken_rollback)
+    with pytest.raises(RollbackError) as info:
+        fixer.fix()
+    # keep_going=True must NOT swallow a double failure
+    assert isinstance(info.value.__cause__, InjectedFault)

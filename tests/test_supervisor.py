@@ -1,0 +1,523 @@
+"""Crash-safe batch supervision: journal, watchdog, retries, resume.
+
+Covers the batch layer's resilience invariants at every level:
+
+- journal framing and recovery (CRC per record, torn-tail truncation,
+  the kill-between-``write`` and kill-between-append-and-``fsync``
+  windows, atomic compaction);
+- supervision (watchdog kill of hung workers, bounded retries with
+  deterministic backoff, retry-then-quarantine ordering, no batch
+  stall);
+- resume (kill at checkpoint boundaries, byte-identical aggregate
+  reports, no task executed twice, stale-journal refusal);
+- the end-to-end signal path (SIGTERM mid-batch drains to exit code 8
+  and the journal resumes to the uninterrupted bytes).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faultinject import FaultPlan
+from repro.faultinject.resume import run_kill_resume, tear_journal_tail
+from repro.supervisor import (
+    BatchSupervisor,
+    CheckpointJournal,
+    JournalError,
+    RepairTask,
+    SupervisorConfig,
+    SupervisorError,
+    SupervisorKilled,
+    backoff_delay,
+    corpus_tasks,
+    decode_record,
+    encode_record,
+    run_batch,
+)
+
+CASES = ["PMDK-447", "PMDK-452"]
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def small_tasks(heuristic="full"):
+    return corpus_tasks(CASES, heuristic=heuristic)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        mode="inprocess",
+        max_retries=1,
+        backoff_base=0.0,
+        task_timeout=600.0,
+    )
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# journal framing
+# ---------------------------------------------------------------------------
+
+
+def test_record_roundtrip():
+    record = {"type": "task-done", "task": "t1", "result": {"ok": True}}
+    line = encode_record(record)
+    assert decode_record(line) == record
+
+
+def test_decode_rejects_damage():
+    line = encode_record({"type": "batch-start"})
+    assert decode_record(line) is not None
+    assert decode_record("") is None
+    assert decode_record("short") is None
+    assert decode_record(line[:-1]) is None  # torn payload: CRC mismatch
+    assert decode_record("zzzzzzzz " + line[9:]) is None  # bad CRC text
+    flipped = line[:9] + line[9:].replace("batch", "botch")
+    assert decode_record(flipped) is None
+    # a CRC-valid non-dict payload is mis-framed, not a record
+    import json
+    import zlib
+
+    payload = json.dumps([1, 2, 3], separators=(",", ":"))
+    crc = zlib.crc32(payload.encode()) & 0xFFFFFFFF
+    assert decode_record(f"{crc:08x} {payload}") is None
+
+
+def test_append_is_durable_and_readable(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CheckpointJournal(path) as journal:
+        journal.append({"type": "batch-start", "tasks": ["a"]})
+        journal.append({"type": "task-start", "task": "a", "attempt": 1})
+    recovered = CheckpointJournal.read(path)
+    assert not recovered.torn
+    assert [r["type"] for r in recovered.records] == ["batch-start", "task-start"]
+
+
+# ---------------------------------------------------------------------------
+# journal recovery: torn tails
+# ---------------------------------------------------------------------------
+
+
+def _write_journal(path, records):
+    with CheckpointJournal(path) as journal:
+        for record in records:
+            journal.append(record)
+
+
+def test_torn_tail_mid_crc_is_truncated(tmp_path):
+    path = str(tmp_path / "j.journal")
+    _write_journal(
+        path,
+        [
+            {"type": "batch-start", "tasks": ["a", "b"]},
+            {"type": "task-done", "task": "a", "result": {}},
+        ],
+    )
+    assert tear_journal_tail(path)
+    recovered = CheckpointJournal.read(path)
+    assert recovered.torn
+    assert recovered.torn_at == 2
+    assert [r["type"] for r in recovered.records] == ["batch-start"]
+
+    # recover() physically truncates, so the next append extends the
+    # good prefix instead of corrupting the log further
+    journal = CheckpointJournal(path)
+    journal.recover()
+    journal.append({"type": "task-start", "task": "a", "attempt": 1})
+    journal.close()
+    again = CheckpointJournal.read(path)
+    assert not again.torn
+    assert [r["type"] for r in again.records] == ["batch-start", "task-start"]
+
+
+def test_complete_line_missing_newline_is_torn(tmp_path):
+    """The kill-between-append-and-fsync window: the record's bytes may
+    be complete but its newline (or durability) is not guaranteed — a
+    final line without ``\\n`` is untrusted even if its CRC validates."""
+    path = str(tmp_path / "j.journal")
+    _write_journal(path, [{"type": "batch-start", "tasks": ["a"]}])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(encode_record({"type": "task-start", "task": "a"}))
+        # no newline: the write(2) was cut short of its final byte
+    recovered = CheckpointJournal.read(path)
+    assert recovered.torn
+    assert recovered.torn_at == 2
+    assert len(recovered.records) == 1
+
+
+def test_garbage_after_torn_record_is_untrusted(tmp_path):
+    """A WAL has no holes: even decodable lines after the first bad
+    record are ignored."""
+    path = str(tmp_path / "j.journal")
+    good = encode_record({"type": "batch-start", "tasks": []})
+    later = encode_record({"type": "task-done", "task": "x", "result": {}})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(good + "\n")
+        handle.write("garbage line\n")
+        handle.write(later + "\n")
+    recovered = CheckpointJournal.read(path)
+    assert recovered.torn_at == 2
+    assert [r["type"] for r in recovered.records] == ["batch-start"]
+    assert "x" not in recovered.completed_tasks()
+
+
+def test_recover_after_append_is_misuse(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j.journal"))
+    journal.append({"type": "batch-start"})
+    with pytest.raises(JournalError):
+        journal.recover()
+    journal.close()
+
+
+def test_compact_keeps_terminal_records_only(tmp_path):
+    path = str(tmp_path / "j.journal")
+    journal = CheckpointJournal(path)
+    journal.append({"type": "batch-start", "tasks": ["a", "b"]})
+    journal.append({"type": "task-start", "task": "a", "attempt": 1})
+    journal.append({"type": "task-failed", "task": "a", "attempt": 1})
+    journal.append({"type": "task-start", "task": "a", "attempt": 2})
+    journal.append({"type": "task-done", "task": "a", "result": {}})
+    journal.append({"type": "task-quarantined", "task": "b", "attempts": 2})
+    journal.append({"type": "batch-end", "totals": {}})
+    kept = journal.compact()
+    assert kept == 4
+    recovered = CheckpointJournal.read(path)
+    assert [r["type"] for r in recovered.records] == [
+        "batch-start", "task-done", "task-quarantined", "batch-end",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# backoff
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_is_deterministic_bounded_and_growing():
+    config = SupervisorConfig(backoff_base=0.1, backoff_cap=1.0)
+    first = backoff_delay(config, "PMDK-447", 1)
+    assert first == backoff_delay(config, "PMDK-447", 1)  # deterministic
+    assert backoff_delay(config, "P-CLHT", 1) != first  # jitter per task
+    previous = 0.0
+    for attempt in range(1, 6):
+        delay = backoff_delay(config, "PMDK-447", attempt)
+        assert 0.0 < delay <= 1.0 * 1.5  # cap * max jitter factor
+        assert delay >= previous or delay >= 1.0  # grows until capped
+        previous = delay
+
+
+# ---------------------------------------------------------------------------
+# supervision basics
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_task_ids_are_rejected(tmp_path):
+    tasks = small_tasks() + small_tasks()[:1]
+    with pytest.raises(SupervisorError):
+        BatchSupervisor(tasks, journal_path=str(tmp_path / "j.journal"))
+
+
+def test_inprocess_batch_completes_and_is_deterministic(tmp_path):
+    tasks = small_tasks()
+    a = run_batch(tasks, journal_path=str(tmp_path / "a.journal"),
+                  config=fast_config())
+    b = run_batch(tasks, journal_path=str(tmp_path / "b.journal"),
+                  config=fast_config())
+    assert a.ok and b.ok
+    assert len(a.done) == len(CASES)
+    assert a.canonical_json() == b.canonical_json()
+    totals = a.totals()
+    assert totals["bugs_fixed"] == totals["bugs_detected"] > 0
+
+
+def test_batch_runs_without_a_journal():
+    report = run_batch(small_tasks(), config=fast_config())
+    assert report.ok
+
+
+def test_file_task_repairs_module_atomically(tmp_path, monkeypatch):
+    from repro.corpus.bugs import all_cases
+    from repro.interp import Interpreter
+    from repro.ir import format_module
+    from repro.trace import dump_trace
+
+    case = next(c for c in all_cases() if c.case_id == "PMDK-447")
+    module = case.build()
+    module_path = tmp_path / "app.ir"
+    module_path.write_text(format_module(module))
+    interp = Interpreter(module)
+    case.drive(interp)
+    interp.finish()
+    trace_path = tmp_path / "app.trace"
+    trace_path.write_text(dump_trace(interp.machine.trace))
+
+    out_path = tmp_path / "app.fixed.ir"
+    task = RepairTask(
+        task_id="app",
+        kind="file",
+        module_path=str(module_path),
+        trace_path=str(trace_path),
+        output_path=str(out_path),
+    )
+    report = run_batch([task], journal_path=str(tmp_path / "j.journal"),
+                       config=fast_config())
+    assert report.ok
+    assert out_path.exists()
+    assert "flush" in out_path.read_text()
+    # input untouched (output went elsewhere)
+    assert module_path.read_text() == format_module(case.build())
+
+
+# ---------------------------------------------------------------------------
+# retries, quarantine, and the watchdog
+# ---------------------------------------------------------------------------
+
+
+def _journal_types_for(path, task_id):
+    return [
+        (r["type"], r.get("attempt"))
+        for r in CheckpointJournal.read(path).records
+        if r.get("task") == task_id
+    ]
+
+
+@pytest.mark.parametrize("mode", ["inprocess", "subprocess"])
+def test_transient_worker_death_is_healed_by_retry(tmp_path, mode):
+    tasks = small_tasks()
+    plan = FaultPlan("worker", mode="kill-worker-at-nth", nth=1, attempts=1)
+    journal_path = str(tmp_path / "j.journal")
+    report = run_batch(
+        tasks, journal_path=journal_path,
+        config=fast_config(mode=mode, task_timeout=60.0,
+                           heartbeat_timeout=5.0),
+        fault=plan,
+    )
+    assert report.ok
+    assert report.total_retries == 1
+    # journal ordering: start(1), failed(1), start(2), done
+    events = _journal_types_for(journal_path, tasks[0].task_id)
+    assert events == [
+        ("task-start", 1), ("task-failed", 1), ("task-start", 2),
+        ("task-done", 2),
+    ]
+
+
+def test_persistent_fault_quarantines_after_bounded_retries(tmp_path):
+    tasks = small_tasks()
+    plan = FaultPlan("worker", mode="kill-worker-at-nth", nth=1, attempts=0)
+    journal_path = str(tmp_path / "j.journal")
+    config = fast_config(max_retries=2)
+    report = run_batch(tasks, journal_path=journal_path, config=config,
+                       fault=plan)
+    target = report.outcome(tasks[0].task_id)
+    assert target is not None and target.status == "quarantined"
+    assert target.attempts == config.max_retries + 1
+    # retry-then-quarantine ordering: every retry precedes quarantine
+    events = _journal_types_for(journal_path, tasks[0].task_id)
+    assert events == [
+        ("task-start", 1), ("task-failed", 1),
+        ("task-start", 2), ("task-failed", 2),
+        ("task-start", 3), ("task-quarantined", None),
+    ]
+    # the fault never stalls the rest of the batch
+    other = report.outcome(tasks[1].task_id)
+    assert other is not None and other.status == "done"
+
+
+@pytest.mark.parametrize("mode", ["inprocess", "subprocess"])
+def test_watchdog_kills_hung_worker_within_budget(tmp_path, mode):
+    tasks = small_tasks()
+    plan = FaultPlan("worker", mode="hang-worker", nth=1, attempts=1)
+    config = fast_config(
+        mode=mode,
+        task_timeout=2.0,
+        heartbeat_timeout=1.0,
+        heartbeat_interval=0.05,
+    )
+    started = time.monotonic()
+    report = run_batch(tasks, journal_path=str(tmp_path / "j.journal"),
+                       config=config, fault=plan)
+    elapsed = time.monotonic() - started
+    assert report.ok
+    assert report.total_retries == 1
+    # detection is bounded by the watchdog budget, not by luck: one
+    # hang (<= task_timeout to detect) plus two healthy executions
+    assert elapsed < 30.0
+    target = report.outcome(tasks[0].task_id)
+    assert target is not None and target.attempts == 2
+
+
+# ---------------------------------------------------------------------------
+# kill/resume
+# ---------------------------------------------------------------------------
+
+
+def _baseline_bytes(tasks, tmp_path):
+    report = run_batch(tasks, journal_path=str(tmp_path / "base.journal"),
+                       config=fast_config())
+    return report.canonical_json()
+
+
+@pytest.mark.parametrize("torn", [False, True])
+def test_kill_at_checkpoint_then_resume_is_byte_identical(tmp_path, torn):
+    tasks = small_tasks()
+    baseline = _baseline_bytes(tasks, tmp_path)
+    suffix = "torn" if torn else "plain"
+    record = run_kill_resume(
+        tasks,
+        str(tmp_path / f"kill-{suffix}.journal"),
+        boundary=3,  # right after the first task-done
+        baseline_bytes=baseline,
+        torn=torn,
+    )
+    assert record.ok, record.problems
+    assert record.reexecuted < len(tasks) + 1
+
+
+def test_kill_before_batch_start_resumes_as_fresh_run(tmp_path):
+    tasks = small_tasks()
+    baseline = _baseline_bytes(tasks, tmp_path)
+    record = run_kill_resume(
+        tasks,
+        str(tmp_path / "kill-1.journal"),
+        boundary=1,  # the batch-start record itself
+        baseline_bytes=baseline,
+        torn=True,  # tearing it leaves an empty trusted prefix
+    )
+    assert record.ok, record.problems
+    assert record.replayed == 0
+
+
+def test_completed_task_is_never_executed_twice(tmp_path):
+    tasks = small_tasks()
+    journal_path = str(tmp_path / "j.journal")
+    plan = FaultPlan("supervisor", mode="kill-supervisor-at-nth", nth=4)
+    with pytest.raises(SupervisorKilled):
+        run_batch(tasks, journal_path=journal_path, config=fast_config(),
+                  fault=plan)
+    done_before = set(CheckpointJournal.read(journal_path).completed_tasks())
+    assert done_before  # the kill landed after at least one completion
+    resumed = run_batch(tasks, journal_path=journal_path, resume=True,
+                        config=fast_config())
+    assert resumed.ok
+    for task_id in done_before:
+        outcome = resumed.outcome(task_id)
+        assert outcome is not None and outcome.replayed
+    records = CheckpointJournal.read(journal_path).records
+    resume_at = next(
+        i for i, r in enumerate(records) if r["type"] == "batch-resume"
+    )
+    restarted = {
+        r["task"] for r in records[resume_at:] if r["type"] == "task-start"
+    }
+    assert not (done_before & restarted)
+
+
+def test_resume_refuses_a_different_batch(tmp_path):
+    journal_path = str(tmp_path / "j.journal")
+    run_batch(small_tasks(), journal_path=journal_path, config=fast_config())
+    other = corpus_tasks(["P-CLHT"])
+    with pytest.raises(SupervisorError, match="refusing to resume"):
+        run_batch(other, journal_path=journal_path, resume=True,
+                  config=fast_config())
+
+
+def test_resume_requires_a_journal():
+    with pytest.raises(SupervisorError):
+        run_batch(small_tasks(), resume=True, config=fast_config())
+
+
+# ---------------------------------------------------------------------------
+# signals: SIGTERM drains to a resumable journal (end to end)
+# ---------------------------------------------------------------------------
+
+
+def _spawn_batch(journal_path, *extra):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "batch", "--corpus",
+            "--journal", journal_path, "--mode", "subprocess", "--jobs", "1",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+
+
+@pytest.mark.slow
+def test_sigterm_mid_batch_drains_and_resumes_byte_identical(tmp_path):
+    journal_path = str(tmp_path / "sig.journal")
+    report_path = str(tmp_path / "resumed.json")
+    baseline = _baseline_bytes(corpus_tasks(), tmp_path)
+
+    proc = _spawn_batch(journal_path)
+    # wait until at least one task completed, then interrupt mid-batch
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        recovered = CheckpointJournal.read(journal_path)
+        if recovered.completed_tasks():
+            break
+        time.sleep(0.05)
+    assert proc.poll() is None, f"batch finished early:\n{proc.stdout.read()}"
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=120)
+    assert proc.returncode == 8, out  # EXIT_INTERRUPTED: drained, resumable
+    records = CheckpointJournal.read(journal_path).records
+    assert records[-1]["type"] == "batch-interrupted"
+    assert records[-1]["signal"] in ("SIGTERM", signal.SIGTERM, 15)
+
+    resume = _spawn_batch(
+        journal_path, "--resume", "--report-out", report_path,
+    )
+    out, _ = resume.communicate(timeout=300)
+    assert resume.returncode == 0, out
+    with open(report_path, "r", encoding="utf-8") as handle:
+        assert handle.read() == baseline
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_batch_cases_and_report_out(tmp_path, capsys):
+    from repro.cli import main
+
+    journal_path = str(tmp_path / "j.journal")
+    report_path = str(tmp_path / "report.json")
+    code = main([
+        "batch", "--cases", *CASES, "--journal", journal_path,
+        "--mode", "inprocess", "--report-out", report_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "task(s) completed" in out
+    with open(report_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    assert '"schema":"repro-batch-report-v1"' in text
+    assert text == _baseline_bytes(small_tasks(), tmp_path)
+
+
+def test_cli_batch_without_work_is_an_error(capsys):
+    from repro.cli import main
+
+    assert main(["batch"]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_cli_batch_bad_task_spec_is_an_error(capsys):
+    from repro.cli import main
+
+    assert main(["batch", "--task", "only-a-module"]) == 2
+    assert "MODULE:TRACE" in capsys.readouterr().err

@@ -75,3 +75,70 @@ def test_warning_text_is_truncated_for_display():
     shown = str(warning)
     assert "..." in shown
     assert len(shown) < 200
+
+
+# ---------------------------------------------------------------------------
+# warning accumulation: the cap and the source stamp
+# ---------------------------------------------------------------------------
+
+
+def _many_bad_lines(count):
+    good = "STORE;1;0x100000000;8;pm;main@app.c:1#1"
+    bad = "\n".join(f"GARBAGE line {i}" for i in range(count))
+    return f"{good}\n{bad}\n"
+
+
+def test_warning_accumulation_is_capped_with_a_summary():
+    warnings = []
+    trace = load_trace(
+        _many_bad_lines(20), strict=False, warnings=warnings, max_warnings=5
+    )
+    assert len(trace) == 1  # the good record survives
+    assert len(warnings) == 6  # 5 individual + 1 summary
+    summary = warnings[-1]
+    assert summary.suppressed == 15
+    assert summary.line == 0
+    assert "15 more malformed record(s) suppressed" in str(summary)
+    assert all(w.suppressed == 0 for w in warnings[:-1])
+
+
+def test_warning_cap_unbounded_when_nonpositive():
+    warnings = []
+    load_trace(_many_bad_lines(60), strict=False, warnings=warnings,
+               max_warnings=0)
+    assert len(warnings) == 60
+    assert all(w.suppressed == 0 for w in warnings)
+
+
+def test_default_cap_bounds_pathological_logs():
+    from repro.trace import MAX_TRACE_WARNINGS
+
+    warnings = []
+    load_trace(
+        _many_bad_lines(MAX_TRACE_WARNINGS + 10), strict=False,
+        warnings=warnings,
+    )
+    assert len(warnings) == MAX_TRACE_WARNINGS + 1
+    assert warnings[-1].suppressed == 10
+
+
+def test_warnings_carry_the_source_filename():
+    warnings = []
+    load_trace(
+        _many_bad_lines(2), strict=False, warnings=warnings,
+        source="app.trace",
+    )
+    assert all(w.source == "app.trace" for w in warnings)
+    assert str(warnings[0]).startswith("app.trace: line 2:")
+
+
+def test_hippocrates_stamps_trace_source_on_warnings():
+    module = build_listing5_module()
+    fixer = Hippocrates(
+        module,
+        (DATA / "truncated.trace").read_text(),
+        lenient=True,
+        trace_source="truncated.trace",
+    )
+    assert fixer.trace_warnings
+    assert all(w.source == "truncated.trace" for w in fixer.trace_warnings)
