@@ -89,6 +89,31 @@ class PointsTo:
         self._heap_pts: Dict[AllocSite, Set[AllocSite]] = {}
         self._solve()
 
+    @classmethod
+    def from_solution(
+        cls,
+        module: Module,
+        sites: Dict[str, AllocSite],
+        var_pts: Dict[Value, Set[AllocSite]],
+        heap_pts: Dict[AllocSite, Set[AllocSite]],
+    ) -> "PointsTo":
+        """Rebuild a solved instance without re-running the fixpoint.
+
+        Used by the content-addressed on-disk analysis cache: the
+        serialized fixpoint of an identical-fingerprint module is
+        translated back onto this module's values (see
+        :mod:`repro.analysis.diskcache`) and installed directly.  No
+        budget is attached — restoring a solution costs no analysis
+        work, so none is charged.
+        """
+        self = cls.__new__(cls)
+        self.module = module
+        self.budget = None
+        self.sites = sites
+        self._var_pts = var_pts
+        self._heap_pts = heap_pts
+        return self
+
     # -- public queries -----------------------------------------------------------
 
     def sites_of(self, value: Value) -> FrozenSet[AllocSite]:

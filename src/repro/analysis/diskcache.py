@@ -1,0 +1,209 @@
+"""Content-addressed on-disk analysis cache.
+
+Batch repair runs the same whole-program analyses again and again: a
+corpus batch rebuilds each case's module in a fresh worker process, and
+``module:trace`` tasks repairing one module against many traces re-solve
+the same Andersen fixpoint per task.  The fixpoint is a pure function of
+module *content*, so its solution can be shared across processes through
+a content-addressed store: ``<dir>/<module fingerprint>.json`` holds the
+serialized points-to solution plus the call-graph edge summary, and any
+worker whose module prints to the same bytes can reuse it.
+
+Two representation problems make this more than ``json.dumps``:
+
+- **Values are process-local.**  The solution maps IR values (and
+  allocation sites keyed by instruction id) to site sets, but
+  instruction ids depend on per-process allocation order.  Values are
+  therefore serialized as stable *paths* — ``i:<fn>:<block#>:<instr#>``
+  for instructions, ``a:<fn>:<arg#>`` for arguments — and translated
+  back to the loading process's local objects (and local ids) on
+  restore.  Identical fingerprints guarantee the paths resolve.
+- **The UNKNOWN site is a singleton.**  Classifiers compare it by
+  identity, so restore maps the ``unknown`` key back to
+  :data:`~repro.analysis.andersen.UNKNOWN_SITE` itself, never a copy.
+
+Writes go through :func:`~repro.fsutil.atomic_write_text`, so two
+workers racing to populate the same fingerprint both land a complete
+entry and a crash mid-write never tears one.  A corrupt, stale-schema,
+or mismatched entry loads as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..fsutil import atomic_write_text
+from ..ir.module import Module
+from ..ir.values import Value
+from .andersen import AllocSite, PointsTo, UNKNOWN_SITE
+from .callgraph import CallGraph
+
+#: on-disk schema tag (bump on any format change; old entries become misses)
+SCHEMA = "repro-analysis-cache-v1"
+
+#: allocation-site keys that embed a process-local instruction id
+_IID_SITE = re.compile(r"^(alloca|call):(\d+)$")
+
+
+class _Unserializable(Exception):
+    """The solution references values outside the module (uncacheable)."""
+
+
+def _value_index(module: Module):
+    """Stable path maps for a module's values.
+
+    Returns ``(to_path, from_path, iid_to_path)`` where paths are
+    ``a:<fn>:<arg#>`` / ``i:<fn>:<block#>:<instr#>`` — positional, so
+    equal-content modules in different processes agree on them.
+    """
+    to_path: Dict[int, str] = {}
+    from_path: Dict[str, Value] = {}
+    iid_to_path: Dict[int, str] = {}
+    for fn in module.functions.values():
+        for ai, arg in enumerate(fn.args):
+            path = f"a:{fn.name}:{ai}"
+            to_path[id(arg)] = path
+            from_path[path] = arg
+        for bi, block in enumerate(fn.blocks):
+            for ii, instr in enumerate(block.instructions):
+                path = f"i:{fn.name}:{bi}:{ii}"
+                to_path[id(instr)] = path
+                from_path[path] = instr
+                iid_to_path[instr.iid] = path
+    return to_path, from_path, iid_to_path
+
+
+def serialize_points_to(points_to: PointsTo) -> Dict:
+    """The JSON form of a solved :class:`PointsTo` (see module docs)."""
+    to_path, _, iid_to_path = _value_index(points_to.module)
+    site_list: List[List] = []
+    site_index: Dict[str, int] = {}
+
+    def descriptor(site: AllocSite) -> List:
+        registered = site.key in points_to.sites
+        match = _IID_SITE.match(site.key)
+        if match:
+            path = iid_to_path.get(int(match.group(2)))
+            if path is None:
+                raise _Unserializable(f"site {site.key} not in module")
+            return ["instr", match.group(1), path, site.space, registered]
+        return ["key", site.key, site.space, registered]
+
+    def index_of(site: AllocSite) -> int:
+        if site.key not in site_index:
+            site_index[site.key] = len(site_list)
+            site_list.append(descriptor(site))
+        return site_index[site.key]
+
+    # Seed with the registry so registered-but-unreferenced sites (e.g.
+    # a pm global the classifier enumerates) survive the round trip.
+    for site in points_to.sites.values():
+        index_of(site)
+
+    # Solved sets are heavily shared (a propagation chain converges to
+    # one set repeated at every step), so sets are interned: each
+    # distinct set is serialized once in ``sets`` and referenced by
+    # index.  This shrinks entries — and restore cost — by orders of
+    # magnitude on chain-heavy modules.
+    set_list: List[List[int]] = []
+    set_index: Dict[Tuple[int, ...], int] = {}
+
+    def intern(sites: Set[AllocSite]) -> int:
+        key = tuple(sorted(index_of(site) for site in sites))
+        if key not in set_index:
+            set_index[key] = len(set_list)
+            set_list.append(list(key))
+        return set_index[key]
+
+    var: Dict[str, int] = {}
+    for value, sites in points_to._var_pts.items():
+        if not sites:
+            continue
+        path = to_path.get(id(value))
+        if path is None:
+            raise _Unserializable(f"value {value!r} not in module")
+        var[path] = intern(sites)
+    heap: List[List[int]] = []
+    for site, sites in points_to._heap_pts.items():
+        if not sites:
+            continue
+        heap.append([index_of(site), intern(sites)])
+    heap.sort()
+    return {"sites": site_list, "sets": set_list, "var": var, "heap": heap}
+
+
+def restore_points_to(module: Module, data: Dict) -> PointsTo:
+    """Translate a serialized solution back onto ``module``'s values."""
+    _, from_path, _ = _value_index(module)
+    sites: List[AllocSite] = []
+    registry: Dict[str, AllocSite] = {}
+    for desc in data["sites"]:
+        if desc[0] == "instr":
+            _, prefix, path, space, registered = desc
+            instr = from_path[path]
+            site = AllocSite(f"{prefix}:{instr.iid}", space)
+        else:
+            _, key, space, registered = desc
+            site = UNKNOWN_SITE if key == UNKNOWN_SITE.key else AllocSite(key, space)
+        sites.append(site)
+        if registered:
+            registry[site.key] = site
+    # Interned sets: materialize each distinct set once, then hand out
+    # *copies* per consumer — PointsTo mutates sets in place, so shared
+    # instances would couple unrelated variables.
+    interned = [frozenset(sites[i] for i in indexes) for indexes in data["sets"]]
+    var_pts: Dict[Value, Set[AllocSite]] = {}
+    for path, set_id in data["var"].items():
+        var_pts[from_path[path]] = set(interned[set_id])
+    heap_pts = {sites[i]: set(interned[set_id]) for i, set_id in data["heap"]}
+    return PointsTo.from_solution(module, registry, var_pts, heap_pts)
+
+
+class AnalysisDiskCache:
+    """A directory of ``<fingerprint>.json`` analysis entries."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def load(self, module: Module) -> Optional[Tuple[PointsTo, CallGraph]]:
+        """The cached ``(points_to, callgraph)`` for this module's
+        content, or None (missing, corrupt, or stale schema)."""
+        try:
+            with open(self._path(module.fingerprint())) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("schema") != SCHEMA:
+            return None
+        try:
+            points_to = restore_points_to(module, data["points_to"])
+            callgraph = CallGraph.from_summary(module, data["callgraph"])
+        except (KeyError, IndexError, TypeError, ValueError):
+            return None
+        return points_to, callgraph
+
+    def store(
+        self, module: Module, points_to: PointsTo, callgraph: CallGraph
+    ) -> bool:
+        """Persist one solved entry; returns False if uncacheable."""
+        fingerprint = module.fingerprint()
+        try:
+            payload = {
+                "schema": SCHEMA,
+                "fingerprint": fingerprint,
+                "points_to": serialize_points_to(points_to),
+                "callgraph": callgraph.summary(),
+            }
+        except _Unserializable:
+            return False
+        os.makedirs(self.directory, exist_ok=True)
+        atomic_write_text(
+            self._path(fingerprint), json.dumps(payload, sort_keys=True)
+        )
+        return True

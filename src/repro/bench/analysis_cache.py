@@ -1,0 +1,273 @@
+"""Bench-smoke for the shared analysis cache: cold vs warm, plus a
+cache-on/cache-off differential.
+
+Two questions, answered with numbers in ``BENCH_analysis_cache.json``:
+
+1. **Does the cache pay?**  A batch of ``file`` repair tasks over
+   analysis-heavy modules (dense pointer-chain constraint systems, so
+   the Andersen fixpoint dominates each task) is run three ways through
+   the real :class:`~repro.supervisor.supervisor.BatchSupervisor`:
+   cache **off**, cache **cold** (empty directory — later tasks already
+   reuse entries stored by earlier ones), and cache **warm** (same
+   directory again).  The warm/cold speedup and hit rates are recorded.
+2. **Is it harmless?**  The effectiveness corpus is batch-repaired cold
+   and warm against one cache directory and once with the cache off;
+   all three :meth:`~repro.supervisor.report.BatchReport.
+   canonical_json` byte forms must be identical.  A content-addressed
+   cache may only change *when* analyses run, never what the repair
+   produces.
+
+Exit status (the CI gate): 0 when the warm runs actually hit the cache
+and every differential matches; 1 otherwise.  The measured speedup is
+recorded but deliberately *not* gated — wall-clock ratios on shared CI
+runners are too noisy to fail a build over, whereas a zero hit rate or
+a canonical-bytes divergence is a correctness bug at any speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..detect import pmemcheck_run
+from ..fsutil import atomic_write_text
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..ir.printer import format_module
+from ..ir.types import PTR
+from ..supervisor import (
+    BatchReport,
+    BatchSupervisor,
+    RepairTask,
+    SupervisorConfig,
+    corpus_tasks,
+)
+from ..trace.pmemcheck import dump_trace
+
+#: synthetic-batch shape: distinct modules x repeated tasks per module
+VARIANTS = 2
+TASKS_PER_VARIANT = 2
+#: bug-driver size (unflushed PM stores = bugs to fix)
+BUGS = 4
+#: pointer-web size knobs (functions, gep-chain length, merged sites)
+WEB_FUNCTIONS = 10
+WEB_CHAIN = 150
+WEB_SITES = 24
+
+
+def build_bench_module(variant: int) -> Module:
+    """An analysis-heavy module with real durability bugs.
+
+    Two deliberately separate parts:
+
+    - A small ``work`` driver whose unflushed PM stores give
+      Hippocrates real bugs to fix.  Kept minimal so locating, hoisting,
+      and applying fixes stays cheap.
+    - A dense *pointer web* of ``WEB_FUNCTIONS`` helpers that the driver
+      never calls.  Andersen is a whole-module analysis, so the web's
+      constraints are solved regardless: each helper merges
+      ``WEB_SITES`` allocation sites through a select chain (big
+      points-to sets) and threads them down a ``WEB_CHAIN``-long gep
+      chain (one propagation step per fixpoint pass), so solve time
+      scales superlinearly while parse/verify stay linear.  That is the
+      analysis-dominated regime the content-addressed cache exists for.
+
+    ``variant`` perturbs the module so fingerprints differ.
+    """
+    mb = ModuleBuilder(f"acache_bench_{variant}")
+
+    for i in range(WEB_FUNCTIONS):
+        b = mb.function(f"web{i}", [("p", PTR)], PTR, source_file=f"web{i}.c")
+        (p,) = b.function.args
+        cond = b.icmp("eq", i + variant, i)
+        merged = p
+        for _ in range(WEB_SITES):
+            site = b.call("pm_alloc", [8], PTR)
+            merged = b.select(cond, site, merged)
+        slot = b.alloca(8)
+        b.store(merged, slot)
+        cursor = b.load(slot, PTR)
+        for _ in range(WEB_CHAIN):
+            cursor = b.gep(cursor, 8)
+        # Store the fully-propagated set back through the merged pointer
+        # so heap constraints keep changing until the chain converges.
+        b.store(cursor, merged)
+        if i + 1 < WEB_FUNCTIONS:
+            linked = b.call(f"web{i + 1}", [cursor], PTR)
+            cursor = b.select(cond, cursor, linked)
+        b.ret(cursor)
+
+    b = mb.function("work", [], source_file="work.c")
+    b.call("pm_root", [64], PTR)
+    for i in range(BUGS):
+        obj = b.call("pm_alloc", [64], PTR)
+        b.store(variant + i + 1, obj)  # durability bug: never flushed
+    b.call("checkpoint", [])
+    b.ret()
+    return mb.module
+
+
+def _write_inputs(directory: str) -> List[Tuple[str, str]]:
+    """Build, trace, and serialize the bench modules; returns
+    ``(module_path, trace_path)`` per variant."""
+    inputs = []
+    for variant in range(VARIANTS):
+        module = build_bench_module(variant)
+        _, trace, _ = pmemcheck_run(module, lambda interp: interp.call("work"))
+        module_path = os.path.join(directory, f"bench{variant}.ir")
+        trace_path = os.path.join(directory, f"bench{variant}.trace")
+        atomic_write_text(module_path, format_module(module))
+        atomic_write_text(trace_path, dump_trace(trace))
+        inputs.append((module_path, trace_path))
+    return inputs
+
+
+def _file_tasks(
+    inputs: List[Tuple[str, str]], cache_dir: Optional[str]
+) -> List[RepairTask]:
+    tasks = []
+    for variant, (module_path, trace_path) in enumerate(inputs):
+        for repeat in range(TASKS_PER_VARIANT):
+            tasks.append(
+                RepairTask(
+                    task_id=f"bench{variant}#{repeat}",
+                    kind="file",
+                    module_path=module_path,
+                    trace_path=trace_path,
+                    heuristic="full",
+                    analysis_cache_dir=cache_dir,
+                )
+            )
+    return tasks
+
+
+def _run_batch(tasks: List[RepairTask]) -> Tuple[float, BatchReport]:
+    supervisor = BatchSupervisor(
+        tasks,
+        config=SupervisorConfig(
+            mode="inprocess", jobs=1, max_retries=0, task_timeout=600.0
+        ),
+    )
+    start = time.monotonic()
+    report = supervisor.run()
+    elapsed = time.monotonic() - start
+    if report.quarantined or report.interrupted:
+        bad = ", ".join(o.task_id for o in report.quarantined) or "interrupted"
+        raise RuntimeError(f"bench batch did not complete cleanly: {bad}")
+    return elapsed, report
+
+
+def _corpus_batch(cache_dir: Optional[str]) -> Tuple[float, BatchReport]:
+    supervisor = BatchSupervisor(
+        corpus_tasks(analysis_cache_dir=cache_dir),
+        config=SupervisorConfig(
+            mode="inprocess", jobs=1, max_retries=0, task_timeout=600.0
+        ),
+    )
+    start = time.monotonic()
+    report = supervisor.run()
+    return time.monotonic() - start, report
+
+
+def run_bench(skip_corpus: bool = False) -> Dict:
+    """Run the full bench; returns the result document (see module docs)."""
+    result: Dict = {"schema": "repro-bench-analysis-cache-v1", "failures": []}
+
+    with tempfile.TemporaryDirectory(prefix="repro-acache-bench-") as tmp:
+        inputs_dir = os.path.join(tmp, "inputs")
+        os.makedirs(inputs_dir)
+        inputs = _write_inputs(inputs_dir)
+        cache_dir = os.path.join(tmp, "cache")
+
+        off_elapsed, off_report = _run_batch(_file_tasks(inputs, None))
+        cold_elapsed, cold_report = _run_batch(_file_tasks(inputs, cache_dir))
+        warm_elapsed, warm_report = _run_batch(_file_tasks(inputs, cache_dir))
+
+        result["synthetic"] = {
+            "tasks": VARIANTS * TASKS_PER_VARIANT,
+            "off_seconds": round(off_elapsed, 4),
+            "cold_seconds": round(cold_elapsed, 4),
+            "warm_seconds": round(warm_elapsed, 4),
+            "warm_speedup_vs_cold": round(cold_elapsed / max(warm_elapsed, 1e-9), 3),
+            "warm_speedup_vs_off": round(off_elapsed / max(warm_elapsed, 1e-9), 3),
+            "cold_stats": cold_report.analysis_stats,
+            "warm_stats": warm_report.analysis_stats,
+        }
+        if warm_report.analysis_stats.get("disk_hits", 0) == 0:
+            result["failures"].append("synthetic warm run had zero cache hits")
+        canon = off_report.canonical_json()
+        if cold_report.canonical_json() != canon:
+            result["failures"].append("synthetic cold report diverged from cache-off")
+        if warm_report.canonical_json() != canon:
+            result["failures"].append("synthetic warm report diverged from cache-off")
+
+        if not skip_corpus:
+            corpus_cache = os.path.join(tmp, "corpus-cache")
+            c_off_elapsed, c_off = _corpus_batch(None)
+            c_cold_elapsed, c_cold = _corpus_batch(corpus_cache)
+            c_warm_elapsed, c_warm = _corpus_batch(corpus_cache)
+            result["corpus"] = {
+                "tasks": len(c_off.outcomes),
+                "off_seconds": round(c_off_elapsed, 4),
+                "cold_seconds": round(c_cold_elapsed, 4),
+                "warm_seconds": round(c_warm_elapsed, 4),
+                "warm_speedup_vs_cold": round(
+                    c_cold_elapsed / max(c_warm_elapsed, 1e-9), 3
+                ),
+                "cold_stats": c_cold.analysis_stats,
+                "warm_stats": c_warm.analysis_stats,
+            }
+            corpus_canon = c_off.canonical_json()
+            if c_cold.canonical_json() != corpus_canon:
+                result["failures"].append("corpus cold report diverged from cache-off")
+            if c_warm.canonical_json() != corpus_canon:
+                result["failures"].append("corpus warm report diverged from cache-off")
+            if c_warm.analysis_stats.get("disk_hits", 0) == 0:
+                result["failures"].append("corpus warm run had zero cache hits")
+
+    result["ok"] = not result["failures"]
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.analysis_cache", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_analysis_cache.json",
+        help="where to write the result document",
+    )
+    parser.add_argument(
+        "--skip-corpus",
+        action="store_true",
+        help="only run the synthetic batch (fast smoke)",
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(skip_corpus=args.skip_corpus)
+    atomic_write_text(args.out, json.dumps(result, indent=2, sort_keys=True) + "\n")
+    synthetic = result["synthetic"]
+    print(
+        f"analysis cache bench: off {synthetic['off_seconds']}s, "
+        f"cold {synthetic['cold_seconds']}s, warm {synthetic['warm_seconds']}s "
+        f"(warm {synthetic['warm_speedup_vs_cold']}x vs cold)"
+    )
+    if "corpus" in result:
+        corpus = result["corpus"]
+        print(
+            f"corpus: off {corpus['off_seconds']}s, cold {corpus['cold_seconds']}s, "
+            f"warm {corpus['warm_seconds']}s "
+            f"(warm {corpus['warm_speedup_vs_cold']}x vs cold)"
+        )
+    for failure in result["failures"]:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI job
+    sys.exit(main())

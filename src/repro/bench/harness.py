@@ -161,16 +161,21 @@ def run_fig4(
 # repair so batch runs and benchmarks share one code path.
 
 
-def run_effectiveness(heuristic: str = "full") -> List[CaseOutcome]:
+def run_effectiveness(
+    heuristic: str = "full",
+    analysis_cache_dir: Optional[str] = None,
+) -> List[CaseOutcome]:
     """Fix and revalidate the full 23-bug corpus (§6.1).
 
     Routed through the :class:`BatchSupervisor` (in-process serial
     mode, no journal) so corpus runs exercise the exact scheduling path
     production batches use; the rich per-case outcomes are recovered
-    from the supervisor's in-process results.
+    from the supervisor's in-process results.  ``analysis_cache_dir``
+    enables the shared on-disk analysis cache (the bench-smoke job runs
+    the corpus cold and warm against one directory).
     """
     supervisor = BatchSupervisor(
-        corpus_tasks(heuristic=heuristic),
+        corpus_tasks(heuristic=heuristic, analysis_cache_dir=analysis_cache_dir),
         config=SupervisorConfig(
             mode="inprocess", heuristic=heuristic, max_retries=0,
             task_timeout=600.0,

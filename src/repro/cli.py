@@ -164,9 +164,21 @@ def cmd_batch(ns: argparse.Namespace) -> int:
         run_batch,
     )
 
+    # Shared on-disk analysis cache: defaults to a directory next to the
+    # journal so resumed runs warm-start from the killed run's entries.
+    cache_dir: Optional[str] = None
+    if not ns.no_analysis_cache:
+        cache_dir = ns.analysis_cache or f"{ns.journal}.acache"
+
     tasks: List[RepairTask] = []
     if ns.corpus or ns.cases:
-        tasks.extend(corpus_tasks(ns.cases or None, heuristic=ns.heuristic))
+        tasks.extend(
+            corpus_tasks(
+                ns.cases or None,
+                heuristic=ns.heuristic,
+                analysis_cache_dir=cache_dir,
+            )
+        )
     for spec in ns.task or []:
         parts = spec.split(":")
         if len(parts) not in (2, 3):
@@ -184,6 +196,7 @@ def cmd_batch(ns: argparse.Namespace) -> int:
                 output_path=output_path,
                 heuristic=ns.heuristic,
                 lenient=ns.lenient,
+                analysis_cache_dir=cache_dir,
             )
         )
     if not tasks:
@@ -354,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--report-out",
         help="write the canonical aggregate report (JSON) here atomically",
+    )
+    batch.add_argument(
+        "--analysis-cache",
+        metavar="DIR",
+        help="content-addressed on-disk analysis cache shared by all "
+        "workers (default: <journal>.acache); entries are keyed by "
+        "module fingerprint, so reuse never changes repair output",
+    )
+    batch.add_argument(
+        "--no-analysis-cache",
+        action="store_true",
+        help="disable the shared analysis cache (every task re-solves "
+        "its own whole-program analyses)",
     )
     batch.set_defaults(fn=cmd_batch)
     return parser

@@ -29,6 +29,15 @@ The pipeline is *resilient* by construction:
 - **Lenient trace ingestion** — ``lenient=True`` skips malformed
   records of a crash-truncated pmemcheck log, surfacing per-line
   :class:`~repro.trace.pmemcheck.TraceWarning`\\ s in the report.
+
+All analyses flow through a per-repair
+:class:`~repro.analysis.manager.AnalysisManager`: the Andersen
+solution, the call graph, the bug locator, and the PM classifications
+are cached against the module's mutation epoch, invalidated precisely
+by each fix's :class:`FixTransaction` (flush/fence fixes preserve the
+whole-program analyses; clones and retargets drop them), and — when an
+analysis cache directory is configured — shared across worker processes
+through the content-addressed on-disk store.
 """
 
 from __future__ import annotations
@@ -44,7 +53,14 @@ from ..analysis.aliasing import (
     classify_full_aa,
     classify_trace_aa,
 )
-from ..analysis.andersen import PointsTo
+from ..analysis.diskcache import AnalysisDiskCache
+from ..analysis.manager import (
+    AnalysisManager,
+    CALLGRAPH,
+    LOCATOR,
+    POINTS_TO,
+    classification_key,
+)
 from ..budget import Budget
 from ..detect.durability import check_trace
 from ..detect.reports import BugReport, DetectionResult
@@ -222,6 +238,8 @@ class Hippocrates:
     :param trace_source: the filename the textual trace came from;
         stamped into every :class:`TraceWarning` so multi-file batch
         logs stay attributable.
+    :param analysis_cache_dir: directory of the content-addressed
+        on-disk analysis cache; None disables cross-process sharing.
     """
 
     def __init__(
@@ -236,6 +254,7 @@ class Hippocrates:
         lenient: bool = False,
         analysis_budget: Optional[Budget] = None,
         trace_source: str = "",
+        analysis_cache_dir: Optional[str] = None,
     ):
         if heuristic not in HEURISTICS:
             raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
@@ -244,7 +263,6 @@ class Hippocrates:
         self.module = module
         self.keep_going = keep_going
         self.lenient = lenient
-        self.analysis_budget = analysis_budget
         self.trace_warnings: List[TraceWarning] = []
         self.quarantined: List[QuarantinedBug] = []
         self.downgrades: List[HeuristicDowngrade] = []
@@ -261,8 +279,53 @@ class Hippocrates:
         self.heuristic = heuristic
         self._effective_heuristic = heuristic
         self.detection = detection if detection is not None else check_trace(self.trace)
-        self.locator = Locator(module)
+        self.manager = AnalysisManager(
+            module,
+            budget=analysis_budget,
+            disk_cache=(
+                AnalysisDiskCache(analysis_cache_dir)
+                if analysis_cache_dir
+                else None
+            ),
+        )
+        self.manager.register(LOCATOR, Locator)
+        for mode in ("full", "trace"):
+            self.manager.register(
+                classification_key(mode),
+                # Late-bound through the method so fault injectors that
+                # wrap ``_classify`` stay on the path.
+                lambda m, mode=mode: self._classify(mode),
+                depends=(POINTS_TO,),
+            )
+        self._locator_override: Optional[Locator] = None
         self._classifier: Optional[PMClassification] = None
+        #: classifier failures memoized per heuristic mode: a
+        #: budget-exhausted Full-AA downgrades once and is never
+        #: re-attempted by later lookups (satellite bugfix).
+        self._mode_failures: Dict[str, BaseException] = {}
+
+    # -- analysis plumbing --------------------------------------------------------
+
+    @property
+    def locator(self) -> Locator:
+        """The bug locator (a cached analysis; tests may override it)."""
+        if self._locator_override is not None:
+            return self._locator_override
+        return self.manager.get(LOCATOR)
+
+    @locator.setter
+    def locator(self, value: Locator) -> None:
+        self._locator_override = value
+
+    @property
+    def analysis_budget(self) -> Optional[Budget]:
+        """The Andersen budget, read by the manager at compute time
+        (fault injection assigns it after construction)."""
+        return self.manager.budget
+
+    @analysis_budget.setter
+    def analysis_budget(self, value: Optional[Budget]) -> None:
+        self.manager.budget = value
 
     # -- resilience bookkeeping ---------------------------------------------------
 
@@ -306,8 +369,14 @@ class Hippocrates:
     # -- classifier ---------------------------------------------------------------
 
     def _classify(self, mode: str) -> PMClassification:
-        """Build the PM pointer classifier for one heuristic mode."""
-        points_to = PointsTo(self.module, budget=self.analysis_budget)
+        """Build the PM pointer classifier for one heuristic mode.
+
+        The Andersen solution comes from the analysis manager (cached
+        across modes and across fixes, and restorable from the on-disk
+        cache), so a Trace-AA fallback after a failed Full-AA reuses
+        rather than re-solves it.
+        """
+        points_to = self.manager.get(POINTS_TO)
         if mode == "trace":
             assert self.machine is not None
             return classify_trace_aa(self.module, self.trace, self.machine, points_to)
@@ -320,11 +389,22 @@ class Hippocrates:
         downgraded (``full -> trace -> off``) and the next-cheaper
         classifier is attempted; None means degraded all the way to
         ``"off"`` (no hoisting — the always-safe baseline).
+
+        Lookups go through the analysis manager, so repeated calls (one
+        per hoisted fix) hit the cache, and a mode whose analysis
+        already failed is never re-attempted: the memoized failure
+        replays straight into the downgrade chain.
         """
         while self._classifier is None and self._effective_heuristic != "off":
+            mode = self._effective_heuristic
+            memoized = self._mode_failures.get(mode)
+            if memoized is not None:
+                self._downgrade(memoized)
+                continue
             try:
-                self._classifier = self._classify(self._effective_heuristic)
+                self._classifier = self.manager.get(classification_key(mode))
             except Exception as exc:
+                self._mode_failures[mode] = exc
                 self._downgrade(exc)
         return self._classifier
 
@@ -408,7 +488,9 @@ class Hippocrates:
                 "cannot apply an interprocedural fix: the heuristic was "
                 "degraded to 'off' and no classifier is available"
             )
-        return SubprogramTransformer(self.module, classifier)
+        return SubprogramTransformer(
+            self.module, classifier, callgraph=self.manager.get(CALLGRAPH)
+        )
 
     def _apply_one(
         self,
@@ -427,14 +509,23 @@ class Hippocrates:
             assert fix.call_site is not None
             txn.track_attr(fix.call_site, "callee")
             txn.track_transformer(transformer)
+            if fix.call_site.function is not None:
+                txn.touch(fix.call_site.function.name)
+            created_mark = len(transformer.created)
             transformer.transform_call_site(fix.call_site)
+            for clone_name in transformer.created[created_mark:]:
+                txn.touch(clone_name)
         elif isinstance(fix, InsertFlush):
             assert fix.store is not None
             txn.track_fix(fix)
+            if fix.store.function is not None:
+                txn.touch(fix.store.function.name)
             insert_covering_flushes(fix.store, fix.flush_kind, into=fix.inserted)
         elif isinstance(fix, InsertFlushAndFence):
             assert fix.store is not None
             txn.track_fix(fix)
+            if fix.store.function is not None:
+                txn.touch(fix.store.function.name)
             insert_covering_flushes(fix.store, fix.flush_kind, into=fix.inserted)
             fence = Fence(fix.fence_kind)
             fence.loc = fix.store.loc
@@ -444,6 +535,8 @@ class Hippocrates:
         elif isinstance(fix, InsertFenceAfterFlush):
             assert fix.flush is not None
             txn.track_fix(fix)
+            if fix.flush.function is not None:
+                txn.touch(fix.flush.function.name)
             fence = Fence(fix.fence_kind)
             fence.loc = fix.flush.loc
             fix.flush.parent.insert_after(fix.flush, fence)
@@ -451,6 +544,8 @@ class Hippocrates:
         elif isinstance(fix, InsertFenceAfterStore):
             assert fix.store is not None
             txn.track_fix(fix)
+            if fix.store.function is not None:
+                txn.touch(fix.store.function.name)
             fence = Fence(fix.fence_kind)
             fence.loc = fix.store.loc
             fix.store.parent.insert_after(fix.store, fence)
@@ -463,10 +558,14 @@ class Hippocrates:
         """Mutate the module according to the plan and verify it.
 
         Each fix is applied transactionally: its mutations are
-        journaled, the module is re-verified, and any failure rolls the
-        module back to the state before that fix — then the fix's bugs
-        are quarantined (``keep_going``) or the error propagates with
-        the module still structurally intact.
+        journaled, the functions it touched are re-verified (the scoped
+        fast path — committing a fix only invalidates the verified
+        state of those functions, so untouched ones are never
+        re-checked), and any failure rolls the module back to the state
+        before that fix — then the fix's bugs are quarantined
+        (``keep_going``) or the error propagates with the module still
+        structurally intact.  A final whole-module verification guards
+        the fast path itself.
         """
         report = FixReport(plan=plan, heuristic=self.heuristic)
         report.ir_size_before = self.module.instruction_count()
@@ -474,10 +573,10 @@ class Hippocrates:
         transformer: Optional[SubprogramTransformer] = None
         applied: List[Fix] = []
         for fix in plan.fixes:
-            txn = FixTransaction(self.module)
+            txn = FixTransaction(self.module, manager=self.manager)
             try:
                 transformer = self._apply_one(fix, transformer, txn)
-                verify_module(self.module)
+                self.manager.verify_scope(txn.touched_functions)
             except Exception as exc:
                 try:
                     txn.rollback()
@@ -555,6 +654,7 @@ def fix_module(
     """Convenience: run the full Hippocrates pipeline on a module.
 
     Keyword ``options`` (``keep_going``, ``lenient``,
-    ``analysis_budget``) are forwarded to :class:`Hippocrates`.
+    ``analysis_budget``, ``analysis_cache_dir``) are forwarded to
+    :class:`Hippocrates`.
     """
     return Hippocrates(module, trace, machine, heuristic, **options).fix()

@@ -177,6 +177,7 @@ class SubprogramTransformer:
         for orig, copy in instr_map.items():
             if isinstance(copy, Call) and self._needs_clone(copy.callee):
                 copy.callee = self.persistent_clone(copy.callee)
+                self.module.bump_epoch()
         return clone_name
 
     def _needs_clone(self, callee: str) -> bool:
@@ -208,6 +209,7 @@ class SubprogramTransformer:
                     f"cannot transform call to intrinsic @{call.callee}"
                 )
             call.callee = self.persistent_clone(call.callee)
+            self.module.bump_epoch()
 
         block = call.parent
         index = block.index_of(call)

@@ -10,17 +10,26 @@ the *pipeline*, not only of the fixes it computes.
 register undo actions *before* mutating (or register trackers whose
 undo diffs state observed later), so a fault at any point mid-fix rolls
 back cleanly.  Undo actions run in reverse registration order.
+
+The transaction is also the analysis manager's mutation witness: it
+knows whether a fix only inserted flushes/fences (``track_fix``) or
+changed program structure (``track_attr`` retargeting, clones via
+``track_transformer``), and which functions it touched.  ``commit`` and
+``rollback`` forward that to the attached
+:class:`~repro.analysis.manager.AnalysisManager` so exactly the right
+cached analyses are invalidated — see the invalidation matrix there.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, TYPE_CHECKING
+from typing import Callable, List, Optional, Set, TYPE_CHECKING
 
 from ..errors import RollbackError
 from ..ir.instructions import Instruction
 from ..ir.module import Module
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.manager import AnalysisManager
     from .fixes import Fix
     from .subprogram import SubprogramTransformer
 
@@ -28,19 +37,39 @@ if TYPE_CHECKING:  # pragma: no cover
 class FixTransaction:
     """An undo journal covering the application of a single fix."""
 
-    def __init__(self, module: Module):
+    def __init__(
+        self, module: Module, manager: Optional["AnalysisManager"] = None
+    ):
         self.module = module
+        self.manager = manager
+        #: Functions whose bodies this fix changed (callers add to it).
+        self.touched_functions: Set[str] = set()
+        #: True once the fix did more than insert flushes/fences.
+        self.structural = False
         self._undo: List[Callable[[], None]] = []
         self._done = False
+
+    def touch(self, function_name: Optional[str]) -> None:
+        """Record that the fix modified the named function's body."""
+        if function_name:
+            self.touched_functions.add(function_name)
 
     # -- trackers -----------------------------------------------------------
 
     def track_attr(self, obj: object, name: str) -> None:
         """Snapshot ``obj.name`` now; restore it on rollback.
 
-        Used for call-site retargeting (``call.callee``)."""
+        Used for call-site retargeting (``call.callee``) — a structural
+        mutation, so the module epoch is bumped again when the attribute
+        is restored (content changed both times)."""
         saved = getattr(obj, name)
-        self._undo.append(lambda: setattr(obj, name, saved))
+        self.structural = True
+
+        def undo() -> None:
+            setattr(obj, name, saved)
+            self.module.bump_epoch()
+
+        self._undo.append(undo)
 
     def track_fix(self, fix: "Fix") -> None:
         """Track ``fix.inserted`` growth: on rollback, every instruction
@@ -63,6 +92,7 @@ class FixTransaction:
         created_mark = len(transformer.created)
         inserted_mark = len(transformer.inserted)
         clones_before = dict(transformer.clones)
+        self.structural = True
 
         def undo() -> None:
             for name in transformer.created[created_mark:]:
@@ -85,9 +115,18 @@ class FixTransaction:
     # -- outcome ------------------------------------------------------------
 
     def commit(self) -> None:
-        """Discard the journal; the fix is permanent."""
+        """Discard the journal; the fix is permanent.
+
+        Notifies the attached analysis manager: flush/fence-only fixes
+        preserve the whole-program analyses, structural fixes drop the
+        points-to solution and call graph."""
         self._undo.clear()
         self._done = True
+        if self.manager is not None:
+            self.manager.mutation_committed(
+                touched_functions=self.touched_functions,
+                structural=self.structural,
+            )
 
     def rollback(self) -> None:
         """Undo every recorded mutation, most recent first.
@@ -109,6 +148,11 @@ class FixTransaction:
             except Exception as exc:
                 failures.append(exc)
         self._done = True
+        if self.manager is not None:
+            # A clean rollback restored the exact prior content, so all
+            # cached analyses are still valid; a failed one leaves the
+            # module in an unknown state and everything must recompute.
+            self.manager.mutation_rolled_back(clean=not failures)
         if failures:
             detail = "; ".join(f"{type(e).__name__}: {e}" for e in failures)
             error = RollbackError(

@@ -38,6 +38,12 @@ class BasicBlock:
 
     # -- mutation ------------------------------------------------------------
 
+    def _bump_module_epoch(self) -> None:
+        """Propagate a structural change to the owning module's epoch."""
+        fn = self.parent
+        if fn is not None and fn.parent is not None:
+            fn.parent.bump_epoch()
+
     def append(self, instr: Instruction) -> Instruction:
         """Append an instruction to the end of the block."""
         if self.terminator is not None:
@@ -46,6 +52,7 @@ class BasicBlock:
             )
         instr.parent = self
         self.instructions.append(instr)
+        self._bump_module_epoch()
         return instr
 
     def insert_after(self, anchor: Instruction, instr: Instruction) -> Instruction:
@@ -59,6 +66,7 @@ class BasicBlock:
             raise IRError("cannot insert after a terminator")
         instr.parent = self
         self.instructions.insert(idx + 1, instr)
+        self._bump_module_epoch()
         return instr
 
     def insert_before(self, anchor: Instruction, instr: Instruction) -> Instruction:
@@ -66,12 +74,14 @@ class BasicBlock:
         idx = self.index_of(anchor)
         instr.parent = self
         self.instructions.insert(idx, instr)
+        self._bump_module_epoch()
         return instr
 
     def remove(self, instr: Instruction) -> None:
         """Remove an instruction from the block."""
         self.instructions.remove(instr)
         instr.parent = None
+        self._bump_module_epoch()
 
     def index_of(self, instr: Instruction) -> int:
         for i, existing in enumerate(self.instructions):

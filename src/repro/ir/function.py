@@ -66,6 +66,8 @@ class Function:
             candidate = f"{base}.{suffix}"
         block = BasicBlock(candidate, self)
         self.blocks.append(block)
+        if self.parent is not None:
+            self.parent.bump_epoch()
         return block
 
     def get_block(self, name: str) -> BasicBlock:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import IRError
@@ -16,12 +17,59 @@ class Module:
 
     Hippocrates operates on whole-program IR ("whole-program LLVM" in
     the paper); all of its passes take a :class:`Module`.
+
+    Every structural mutation — function add/remove, global add, block
+    creation, instruction insert/remove anywhere in the module — bumps a
+    monotonic **mutation epoch** (:attr:`epoch`).  Cached analyses (see
+    :class:`~repro.analysis.manager.AnalysisManager`) are validated
+    against it: equal epoch means the module provably has not changed
+    since the analysis ran.  The complementary :meth:`fingerprint` is a
+    deterministic *content* hash — equal across processes, builders, and
+    parser→printer round trips — used to key the content-addressed
+    on-disk analysis cache.
     """
 
     def __init__(self, name: str = "module"):
         self.name = name
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, GlobalVariable] = {}
+        self._epoch = 0
+        self._fingerprint: Optional[Tuple[int, str]] = None
+
+    # -- mutation tracking ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; bumped by every structural change."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Record a structural mutation (invalidates cached analyses).
+
+        Called by every mutation primitive (module-level construction,
+        block insertion/removal, builder emission, call retargeting);
+        manual passes mutating IR through other means must call it
+        themselves.
+        """
+        self._epoch += 1
+
+    def fingerprint(self) -> str:
+        """Deterministic SHA-256 of the module's textual content.
+
+        Content-addressed and process-independent: two modules that
+        print identically — including a module re-parsed from its own
+        printed text — share a fingerprint, regardless of instruction
+        ids or construction order.  Cached against :attr:`epoch`, so
+        repeated calls between mutations are free.
+        """
+        if self._fingerprint is None or self._fingerprint[0] != self._epoch:
+            from .printer import format_module
+
+            digest = hashlib.sha256(
+                format_module(self).encode("utf-8")
+            ).hexdigest()
+            self._fingerprint = (self._epoch, digest)
+        return self._fingerprint[1]
 
     # -- construction -----------------------------------------------------------
 
@@ -37,6 +85,7 @@ class Module:
         fn = Function(name, params, return_type, source_file or f"{self.name}.c")
         fn.parent = self
         self.functions[name] = fn
+        self.bump_epoch()
         return fn
 
     def insert_function(self, fn: Function) -> Function:
@@ -45,6 +94,7 @@ class Module:
             raise IRError(f"duplicate function {fn.name!r}")
         fn.parent = self
         self.functions[fn.name] = fn
+        self.bump_epoch()
         return fn
 
     def remove_function(self, name: str) -> Optional[Function]:
@@ -55,6 +105,7 @@ class Module:
         fn = self.functions.pop(name, None)
         if fn is not None:
             fn.parent = None
+            self.bump_epoch()
         return fn
 
     def add_global(
@@ -68,6 +119,7 @@ class Module:
             raise IRError(f"duplicate global {name!r}")
         gv = GlobalVariable(name, size, space, initializer)
         self.globals[name] = gv
+        self.bump_epoch()
         return gv
 
     # -- lookup -------------------------------------------------------------------

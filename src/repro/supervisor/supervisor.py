@@ -125,6 +125,7 @@ class _WorkerHandle:
         self.last_heartbeat = self.started
         self.result_record: Optional[Dict[str, Any]] = None
         self.outcome_obj = None  # rich CaseOutcome (in-process only)
+        self.stats_record: Optional[Dict[str, Any]] = None  # volatile STATS line
         self.fail_info: Optional[Dict[str, Any]] = None
         self.silent_death = False
 
@@ -173,6 +174,11 @@ class _SubprocessWorker(_WorkerHandle):
             with self._lock:
                 if line.startswith("HB "):
                     self.last_heartbeat = time.monotonic()
+                elif line.startswith("STATS "):
+                    try:
+                        self.stats_record = json.loads(line[len("STATS "):])
+                    except ValueError:
+                        pass  # observability only; never fails the task
                 elif line.startswith("RESULT "):
                     try:
                         self.result_record = json.loads(line[len("RESULT "):])
@@ -260,6 +266,7 @@ class _InprocessWorker(_WorkerHandle):
             result: TaskResult = execute_task(self.task)
             self.result_record = result.record
             self.outcome_obj = result.outcome
+            self.stats_record = result.stats
         except Exception as exc:
             import traceback as _tb
 
@@ -581,7 +588,7 @@ class BatchSupervisor:
                 if worker.finished():
                     worker.settle()
                     if worker.result_record is not None:
-                        self._record_done(worker, outcomes_by_id)
+                        self._record_done(worker, outcomes_by_id, report)
                     else:
                         self._record_failure(
                             worker, queue, index_of, outcomes_by_id, report
@@ -628,7 +635,11 @@ class BatchSupervisor:
                 time.sleep(0.01)
         return self._draining
 
-    def _record_done(self, worker: _WorkerHandle, outcomes_by_id) -> None:
+    def _record_done(
+        self, worker: _WorkerHandle, outcomes_by_id, report: BatchReport
+    ) -> None:
+        # The journaled record excludes the volatile STATS payload: a
+        # resumed batch replays results, not cache weather.
         self._append(
             {
                 "type": "task-done",
@@ -643,7 +654,9 @@ class BatchSupervisor:
             record=worker.result_record,
             attempts=worker.attempt,
             outcome_obj=worker.outcome_obj,
+            stats=worker.stats_record,
         )
+        report.add_analysis_stats(worker.stats_record)
         self._notify("done", worker.task.task_id)
 
     def _record_failure(

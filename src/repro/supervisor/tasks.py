@@ -55,17 +55,29 @@ class CaseOutcome:
     comparison: Optional[str] = None
     #: the repaired module (for digesting / further inspection)
     module: Any = None
+    #: analysis-manager hit/miss counters (volatile — never journaled)
+    analysis_stats: Optional[Dict[str, int]] = None
 
     @property
     def fixed(self) -> bool:
         return self.reports_found > 0 and self.reports_after_fix == 0
 
 
-def run_case(case: BugCase, heuristic: str = "full") -> CaseOutcome:
+def run_case(
+    case: BugCase,
+    heuristic: str = "full",
+    analysis_cache_dir: Optional[str] = None,
+) -> CaseOutcome:
     """Detect, fix, and revalidate one corpus case."""
     module = case.build()
     detection, trace, interp = pmemcheck_run(module, case.drive)
-    fixer = Hippocrates(module, trace, interp.machine, heuristic=heuristic)
+    fixer = Hippocrates(
+        module,
+        trace,
+        interp.machine,
+        heuristic=heuristic,
+        analysis_cache_dir=analysis_cache_dir,
+    )
     plan = fixer.compute_fixes()
     fix_report = fixer.apply(plan)
     after, _, _ = pmemcheck_run(module, case.drive)
@@ -82,6 +94,7 @@ def run_case(case: BugCase, heuristic: str = "full") -> CaseOutcome:
         fix_kinds=kinds,
         comparison=comparison,
         module=module,
+        analysis_stats=fixer.manager.stats.as_dict(),
     )
 
 
@@ -104,6 +117,11 @@ class RepairTask:
         (None = repair in memory only, report the result).
     :param heuristic: hoisting heuristic mode.
     :param lenient: skip malformed trace lines (file tasks).
+    :param analysis_cache_dir: directory of the shared on-disk analysis
+        cache (None = no cross-process analysis sharing).  The cache is
+        content-addressed, so it never changes *what* a task computes —
+        only whether the Andersen fixpoint is re-solved — and is
+        deliberately excluded from the journaled result record.
     """
 
     task_id: str
@@ -114,6 +132,7 @@ class RepairTask:
     output_path: Optional[str] = None
     heuristic: str = "full"
     lenient: bool = False
+    analysis_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -134,6 +153,7 @@ class RepairTask:
             "output_path": self.output_path,
             "heuristic": self.heuristic,
             "lenient": self.lenient,
+            "analysis_cache_dir": self.analysis_cache_dir,
         }
 
     @staticmethod
@@ -147,11 +167,14 @@ class RepairTask:
             output_path=spec.get("output_path"),
             heuristic=spec.get("heuristic", "full"),
             lenient=bool(spec.get("lenient", False)),
+            analysis_cache_dir=spec.get("analysis_cache_dir"),
         )
 
 
 def corpus_tasks(
-    case_ids: Optional[List[str]] = None, heuristic: str = "full"
+    case_ids: Optional[List[str]] = None,
+    heuristic: str = "full",
+    analysis_cache_dir: Optional[str] = None,
 ) -> List[RepairTask]:
     """Build the corpus batch (default: every case, corpus order)."""
     known = {case.case_id: case for case in all_cases()}
@@ -165,7 +188,8 @@ def corpus_tasks(
             )
         tasks.append(
             RepairTask(task_id=case_id, kind="corpus", case_id=case_id,
-                       heuristic=heuristic)
+                       heuristic=heuristic,
+                       analysis_cache_dir=analysis_cache_dir)
         )
     return tasks
 
@@ -181,11 +205,15 @@ class TaskResult:
 
     ``record`` is the deterministic, journal-able form; ``outcome`` is
     the rich in-memory object (available only when the task ran
-    in-process — it never crosses a subprocess boundary).
+    in-process — it never crosses a subprocess boundary).  ``stats``
+    carries the analysis-manager counters: volatile observability data
+    that must never leak into ``record`` (cache hits vary run to run,
+    and the journal replay must stay byte-identical).
     """
 
     record: Dict[str, Any]
     outcome: Optional[CaseOutcome] = None
+    stats: Optional[Dict[str, int]] = None
 
 
 def _module_digest(module) -> str:
@@ -220,10 +248,16 @@ def execute_task(task: RepairTask) -> TaskResult:
     """
     if task.kind == "corpus":
         case = _find_case(task.case_id)
-        outcome = run_case(case, heuristic=task.heuristic)
+        outcome = run_case(
+            case,
+            heuristic=task.heuristic,
+            analysis_cache_dir=task.analysis_cache_dir,
+        )
         digest = _module_digest(outcome.module)
         return TaskResult(
-            record=_corpus_record(task, outcome, digest), outcome=outcome
+            record=_corpus_record(task, outcome, digest),
+            outcome=outcome,
+            stats=outcome.analysis_stats,
         )
     return _execute_file_task(task)
 
@@ -251,6 +285,7 @@ def _execute_file_task(task: RepairTask) -> TaskResult:
         heuristic=task.heuristic,
         lenient=task.lenient,
         trace_source=task.trace_path,
+        analysis_cache_dir=task.analysis_cache_dir,
     )
     plan = fixer.compute_fixes()
     report = fixer.apply(plan)
@@ -270,4 +305,4 @@ def _execute_file_task(task: RepairTask) -> TaskResult:
         comparison=None,
         module_sha256=hashlib.sha256(fixed_text.encode("utf-8")).hexdigest(),
     )
-    return TaskResult(record=record)
+    return TaskResult(record=record, stats=fixer.manager.stats.as_dict())

@@ -11,7 +11,10 @@ Protocol (line-oriented, over stdio):
 - stdout: ``HB <n>`` heartbeat lines every ``REPRO_WORKER_HEARTBEAT``
   seconds from a daemon thread (so a worker stuck in a long Andersen
   fixpoint still heartbeats, while a *dead* one goes silent);
-  then exactly one terminal line:
+  optionally one ``STATS <json>`` line — volatile analysis-cache
+  counters (hit/miss), reported separately from the result precisely so
+  they never enter the deterministic record or the journal — then
+  exactly one terminal line:
 
   - ``RESULT <json>`` — the deterministic task result record, or
   - ``FAIL <json>`` — ``{"error_type", "error", "traceback"}``.
@@ -84,6 +87,8 @@ def main() -> int:
         }
         print(f"FAIL {json.dumps(payload)}", flush=True)
         return 3
+    if result.stats is not None:
+        print(f"STATS {json.dumps(result.stats, sort_keys=True)}", flush=True)
     print(f"RESULT {json.dumps(result.record, sort_keys=True)}", flush=True)
     return 0
 

@@ -1,0 +1,207 @@
+"""Epoch and fingerprint correctness for the analysis manager's cache.
+
+Two properties underpin every cached analysis:
+
+- **Epoch monotonicity**: every structural mutation — builder emission,
+  positional block insertion/removal, function/global/block addition,
+  function removal, transaction rollback — strictly increases the
+  module's mutation epoch.  A missed bump would let a stale analysis
+  validate against changed content.
+- **Fingerprint determinism**: the content fingerprint is a pure
+  function of the printed text, so parser→printer→parser round trips
+  agree, it is stable between mutations, and it changes when content
+  changes.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.transaction import FixTransaction
+from repro.ir import (
+    I64,
+    ModuleBuilder,
+    PTR,
+    format_module,
+    parse_module,
+)
+from repro.ir.instructions import Fence, Flush
+
+
+def build_base():
+    mb = ModuleBuilder("epoch")
+    b = mb.function("main", [], I64, source_file="e.c")
+    base = b.call("pm_alloc", [64], PTR)
+    b.store(7, base)
+    b.flush(base)
+    b.fence()
+    b.ret(0)
+    return mb, b
+
+
+# ---------------------------------------------------------------------------
+# Property: every mutating operation bumps the epoch
+# ---------------------------------------------------------------------------
+
+#: builder ops exercised by the property test, all of which must bump
+gen_op = st.sampled_from(
+    ["add", "store", "load", "gep", "flush", "fence", "call", "alloca"]
+)
+
+
+@given(st.lists(gen_op, min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_every_builder_emission_bumps_epoch(ops):
+    mb = ModuleBuilder("gen")
+    helper = mb.function("helper", [("x", I64)], I64, source_file="g.c")
+    helper.ret(helper.function.args[0])
+    b = mb.function("main", [], I64, source_file="g.c")
+    module = mb.module
+    base = b.call("pm_alloc", [256], PTR)
+    acc = b.add(0, 1)
+    for op in ops:
+        before = module.epoch
+        if op == "add":
+            acc = b.add(acc, 1)
+        elif op == "store":
+            b.store(acc, base)
+        elif op == "load":
+            acc = b.load(base, I64)
+        elif op == "gep":
+            base = b.gep(base, 8)
+        elif op == "flush":
+            b.flush(base)
+        elif op == "fence":
+            b.fence()
+        elif op == "call":
+            acc = b.call("helper", [acc], I64)
+        elif op == "alloca":
+            b.alloca(16)
+        assert module.epoch == before + 1, f"{op} did not bump the epoch"
+    b.ret(acc)
+
+
+def test_module_level_construction_bumps_epoch():
+    mb, b = build_base()
+    module = mb.module
+
+    before = module.epoch
+    fn = module.add_function("fresh", [("p", PTR)], I64)
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    fn.add_block("extra")
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    module.add_global("g", 64, "pm")
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    removed = module.remove_function("fresh")
+    assert removed is fn
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    module.insert_function(fn)
+    assert module.epoch == before + 1
+
+    # Removing a function that is not present is not a mutation.
+    before = module.epoch
+    assert module.remove_function("never-existed") is None
+    assert module.epoch == before
+
+
+def test_positional_insertion_and_removal_bump_epoch():
+    mb, b = build_base()
+    module = mb.module
+    block = module.get_function("main").entry
+    store = next(i for i in block if i.opcode == "store")
+
+    before = module.epoch
+    flush = block.insert_after(store, Flush(store.pointer))
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    block.insert_before(flush, Fence())
+    assert module.epoch == before + 1
+
+    before = module.epoch
+    block.remove(flush)
+    assert module.epoch == before + 1
+
+
+def test_transaction_rollback_bumps_epoch():
+    mb, b = build_base()
+    module = mb.module
+    call = next(i for i in module.get_function("main").entry if i.opcode == "call")
+
+    txn = FixTransaction(module)
+    txn.track_attr(call, "callee")
+    call.callee = "pm_alloc_PM"
+    module.bump_epoch()
+    mutated_epoch = module.epoch
+    txn.rollback()
+    # The undo restored the attribute — different content than the
+    # mutated state, so the epoch must move again, not rewind.
+    assert call.callee == "pm_alloc"
+    assert module.epoch > mutated_epoch
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_stable_between_mutations():
+    mb, b = build_base()
+    module = mb.module
+    assert module.fingerprint() == module.fingerprint()
+
+
+def test_fingerprint_tracks_content_changes():
+    mb, b = build_base()
+    module = mb.module
+    original = module.fingerprint()
+    store = next(
+        i for i in module.get_function("main").entry if i.opcode == "store"
+    )
+    block = store.parent
+    flush = block.insert_after(store, Flush(store.pointer))
+    assert module.fingerprint() != original
+    block.remove(flush)
+    # Same content again -> same fingerprint (even though the epoch moved).
+    assert module.fingerprint() == original
+
+
+@given(st.lists(gen_op, min_size=0, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_fingerprints_agree(ops):
+    mb = ModuleBuilder("gen")
+    b = mb.function("main", [], I64, source_file="g.c")
+    base = b.call("pm_alloc", [256], PTR)
+    acc = b.add(0, 1)
+    for op in ops:
+        if op == "add":
+            acc = b.add(acc, 1)
+        elif op == "store":
+            b.store(acc, base)
+        elif op == "load":
+            acc = b.load(base, I64)
+        elif op == "gep":
+            base = b.gep(base, 8)
+        elif op == "flush":
+            b.flush(base)
+        elif op == "fence":
+            b.fence()
+        elif op == "call":
+            base = b.call("pm_alloc", [64], PTR)
+        elif op == "alloca":
+            b.alloca(16)
+    b.ret(acc)
+    module = mb.module
+
+    reparsed = parse_module(format_module(module))
+    assert reparsed.fingerprint() == module.fingerprint()
+    # And once more: the fingerprint is a fixed point of the round trip.
+    again = parse_module(format_module(reparsed))
+    assert again.fingerprint() == reparsed.fingerprint()
