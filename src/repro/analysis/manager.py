@@ -117,6 +117,7 @@ class AnalysisManager:
         module: Module,
         budget: Optional[Budget] = None,
         disk_cache: Optional[AnalysisDiskCache] = None,
+        metrics=None,
     ):
         self.module = module
         #: Budget charged by the points-to fixpoint; assignable after
@@ -124,10 +125,21 @@ class AnalysisManager:
         self.budget = budget
         self.disk_cache = disk_cache
         self.stats = AnalysisStats()
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry`; every
+        #: stats increment is mirrored into an ``analysis.*`` counter so
+        #: batch observability sees cache behaviour without a separate
+        #: reporting channel.
+        self.metrics = metrics
         self._registry: Dict[Hashable, _Registration] = {}
         self._entries: Dict[Hashable, _Entry] = {}
         self.register(POINTS_TO, self._compute_points_to)
         self.register(CALLGRAPH, self._compute_callgraph)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump one stats counter (and its metrics mirror)."""
+        setattr(self.stats, name, getattr(self.stats, name) + amount)
+        if self.metrics is not None and amount:
+            self.metrics.counter(f"analysis.{name}").inc(amount)
 
     # -- registration ---------------------------------------------------------
 
@@ -159,14 +171,14 @@ class AnalysisManager:
         entry = self._entries.get(key)
         if entry is not None and entry.epoch == self.module.epoch:
             if entry.failure is not None:
-                self.stats.failures_replayed += 1
+                self._count("failures_replayed")
                 raise entry.failure
-            self.stats.hits += 1
+            self._count("hits")
             return entry.value
         registration = self._registry.get(key)
         if registration is None:
             raise KeyError(f"no analysis registered for key {key!r}")
-        self.stats.misses += 1
+        self._count("misses")
         epoch = self.module.epoch
         try:
             value = registration.compute(self.module)
@@ -208,10 +220,10 @@ class AnalysisManager:
         """Drop the given entries and everything depending on them."""
         for key in self._dependents(keys):
             if self._entries.pop(key, None) is not None:
-                self.stats.invalidations += 1
+                self._count("invalidations")
 
     def invalidate_all(self) -> None:
-        self.stats.invalidations += len(self._entries)
+        self._count("invalidations", len(self._entries))
         self._entries.clear()
 
     def _revalidate_surviving(self) -> None:
@@ -248,7 +260,7 @@ class AnalysisManager:
             # post-mutation content (same epoch) stays valid.
             if entry is not None and entry.epoch != epoch:
                 del self._entries[(VERIFIED, name)]
-                self.stats.invalidations += 1
+                self._count("invalidations")
         if structural:
             self.invalidate(STRUCTURE_KEYS)
         self._revalidate_surviving()
@@ -282,11 +294,11 @@ class AnalysisManager:
             entry = self._entries.get(key)
             if entry is not None and entry.epoch == self.module.epoch:
                 if entry.failure is not None:
-                    self.stats.failures_replayed += 1
+                    self._count("failures_replayed")
                     raise entry.failure
-                self.stats.hits += 1
+                self._count("hits")
                 continue
-            self.stats.misses += 1
+            self._count("misses")
             epoch = self.module.epoch
             try:
                 verify_function(self.module.get_function(name))
@@ -302,10 +314,10 @@ class AnalysisManager:
             restored = self.disk_cache.load(module)
             if restored is not None:
                 points_to, callgraph = restored
-                self.stats.disk_hits += 1
+                self._count("disk_hits")
                 self._seed(CALLGRAPH, callgraph)
                 return points_to
-            self.stats.disk_misses += 1
+            self._count("disk_misses")
         points_to = PointsTo(module, budget=self.budget)
         if self.disk_cache is not None:
             self.disk_cache.store(module, points_to, self.get(CALLGRAPH))

@@ -214,13 +214,43 @@ def cmd_batch(ns: argparse.Namespace) -> int:
         suffix = f" ({detail})" if detail else ""
         print(f"[{event}] {task_id}{suffix}", file=sys.stderr)
 
-    report = run_batch(
-        tasks,
-        journal_path=ns.journal,
-        resume=ns.resume,
-        config=config,
-        progress=progress,
-    )
+    # Observability is strictly off the canonical path: with or without
+    # these flags the batch report's bytes are identical.
+    from .obs import JsonlSink, NULL_OBS, Observability, format_hotspots, profile_call
+
+    obs = NULL_OBS
+    sink = None
+    if ns.metrics_out or ns.spans_out:
+        if ns.spans_out:
+            sink = JsonlSink(ns.spans_out)
+        obs = Observability(sink=sink)
+
+    def run() -> "object":
+        return run_batch(
+            tasks,
+            journal_path=ns.journal,
+            resume=ns.resume,
+            config=config,
+            progress=progress,
+            obs=obs,
+        )
+
+    try:
+        if ns.profile:
+            report, hotspots = profile_call(run, top_n=ns.profile)
+            print(format_hotspots(hotspots), file=sys.stderr)
+        else:
+            report = run()
+        if ns.metrics_out:
+            obs.write_metrics(ns.metrics_out)
+            print(f"metrics written to {ns.metrics_out}", file=sys.stderr)
+    finally:
+        obs.close()
+        if sink is not None and sink.dropped:
+            print(
+                f"warning: spans sink dropped {sink.dropped} record(s)",
+                file=sys.stderr,
+            )
     print(report.summary())
     for outcome in report.quarantined:
         print(
@@ -380,6 +410,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the shared analysis cache (every task re-solves "
         "its own whole-program analyses)",
+    )
+    batch.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the batch metrics snapshot (counters/gauges/"
+        "histograms, JSON) here atomically; never affects the "
+        "canonical report",
+    )
+    batch.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="append span/event records (JSONL, fsync'd) here as the "
+        "batch runs; never affects the canonical report",
+    )
+    batch.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="run the batch under cProfile and print the top N "
+        "functions by cumulative time to stderr (default N: 25)",
     )
     batch.set_defaults(fn=cmd_batch)
     return parser

@@ -67,6 +67,7 @@ from ..detect.reports import BugReport, DetectionResult
 from ..errors import FixError
 from ..interp.interpreter import Machine
 from ..ir.instructions import Fence
+from ..obs.observability import NULL_OBS, Observability
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..trace.pmemcheck import TraceWarning, load_trace
@@ -240,6 +241,12 @@ class Hippocrates:
         logs stay attributable.
     :param analysis_cache_dir: directory of the content-addressed
         on-disk analysis cache; None disables cross-process sharing.
+    :param obs: an :class:`~repro.obs.observability.Observability`
+        facade; the pipeline phases run under named spans and the
+        analysis manager mirrors its counters into it.  Observability
+        never influences repair output — the default
+        :data:`~repro.obs.observability.NULL_OBS` makes every
+        instrumentation point a no-op.
     """
 
     def __init__(
@@ -255,6 +262,7 @@ class Hippocrates:
         analysis_budget: Optional[Budget] = None,
         trace_source: str = "",
         analysis_cache_dir: Optional[str] = None,
+        obs: Optional[Observability] = None,
     ):
         if heuristic not in HEURISTICS:
             raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
@@ -278,6 +286,7 @@ class Hippocrates:
         self.machine = machine
         self.heuristic = heuristic
         self._effective_heuristic = heuristic
+        self.obs = obs if obs is not None else NULL_OBS
         self.detection = detection if detection is not None else check_trace(self.trace)
         self.manager = AnalysisManager(
             module,
@@ -287,6 +296,7 @@ class Hippocrates:
                 if analysis_cache_dir
                 else None
             ),
+            metrics=self.obs.metrics if self.obs.enabled else None,
         )
         self.manager.register(LOCATOR, Locator)
         for mode in ("full", "trace"):
@@ -417,16 +427,44 @@ class Hippocrates:
         be resolved is quarantined (under ``keep_going``) while every
         other bug still gets its fix.
         """
-        fixes: List[Fix] = []
-        for bug in self.detection.bugs:
+        obs = self.obs
+        obs.count("pipeline.bugs", len(self.detection.bugs))
+        # One locator fetch, under its own span, on the instrumented
+        # and plain paths alike — observability must not change how
+        # often the analysis manager is consulted (its hit counters
+        # would otherwise differ obs-on vs obs-off).  A failure is
+        # deferred into the per-bug loop so every bug still lands in
+        # its own quarantine entry.
+        locator = None
+        locator_exc: Optional[Exception] = None
+        with obs.span("phase.locate"):
             try:
-                fixes.extend(generate_intraprocedural_fixes([bug], self.locator))
+                locator = self.locator
             except Exception as exc:
-                self._quarantine(bug, "locate", exc)
-        fixes = reduce_fixes(fixes)
-        if self._effective_heuristic != "off":
-            fixes = self._hoist(fixes)
+                locator_exc = exc
+        fixes: List[Fix] = []
+        with obs.span("phase.generate") as span:
+            for bug in self.detection.bugs:
+                try:
+                    if locator_exc is not None:
+                        raise locator_exc
+                    fixes.extend(
+                        generate_intraprocedural_fixes([bug], locator)
+                    )
+                except Exception as exc:
+                    self._quarantine(bug, "locate", exc)
+            span.annotate(bugs=len(self.detection.bugs), fixes=len(fixes))
+        with obs.span("phase.reduce", stage="pre-hoist") as span:
             fixes = reduce_fixes(fixes)
+            span.annotate(fixes=len(fixes))
+        if self._effective_heuristic != "off":
+            with obs.span("phase.hoist") as span:
+                fixes = self._hoist(fixes)
+                span.annotate(fixes=len(fixes))
+            with obs.span("phase.reduce", stage="post-hoist") as span:
+                fixes = reduce_fixes(fixes)
+                span.annotate(fixes=len(fixes))
+        obs.count("pipeline.fixes_planned", len(fixes))
         return FixPlan(fixes=fixes)
 
     def _hoist(self, fixes: List[Fix]) -> List[Fix]:
@@ -569,36 +607,40 @@ class Hippocrates:
         """
         report = FixReport(plan=plan, heuristic=self.heuristic)
         report.ir_size_before = self.module.instruction_count()
+        obs = self.obs
 
         transformer: Optional[SubprogramTransformer] = None
         applied: List[Fix] = []
-        for fix in plan.fixes:
-            txn = FixTransaction(self.module, manager=self.manager)
-            try:
-                transformer = self._apply_one(fix, transformer, txn)
-                self.manager.verify_scope(txn.touched_functions)
-            except Exception as exc:
+        with obs.span("phase.apply", fixes=len(plan.fixes)):
+            for fix in plan.fixes:
+                txn = FixTransaction(self.module, manager=self.manager)
                 try:
-                    txn.rollback()
-                except Exception as rollback_exc:
-                    # Double failure: the rollback itself broke.  Chain
-                    # the rollback error onto the original exception so
-                    # the root cause stays visible, and never quarantine
-                    # — the module's integrity is unknown.
-                    raise rollback_exc from exc
-                if not self.keep_going:
-                    raise
-                bugs = fix.bugs or [None]  # type: ignore[list-item]
-                for bug in bugs:
-                    self._quarantine(bug, "apply", exc)
-                continue
-            txn.commit()
-            applied.append(fix)
-            if isinstance(fix, HoistedFix):
-                report.interprocedural_count += 1
-                report.hoist_depths.append(fix.hoist_depth)
-            else:
-                report.intraprocedural_count += 1
+                    transformer = self._apply_one(fix, transformer, txn)
+                    self.manager.verify_scope(txn.touched_functions)
+                except Exception as exc:
+                    try:
+                        txn.rollback()
+                    except Exception as rollback_exc:
+                        # Double failure: the rollback itself broke.
+                        # Chain the rollback error onto the original
+                        # exception so the root cause stays visible, and
+                        # never quarantine — the module's integrity is
+                        # unknown.
+                        raise rollback_exc from exc
+                    obs.count("pipeline.fixes_rolled_back")
+                    if not self.keep_going:
+                        raise
+                    bugs = fix.bugs or [None]  # type: ignore[list-item]
+                    for bug in bugs:
+                        self._quarantine(bug, "apply", exc)
+                    continue
+                txn.commit()
+                applied.append(fix)
+                if isinstance(fix, HoistedFix):
+                    report.interprocedural_count += 1
+                    report.hoist_depths.append(fix.hoist_depth)
+                else:
+                    report.intraprocedural_count += 1
 
         if transformer is not None:
             report.functions_created = list(transformer.created)
@@ -615,7 +657,10 @@ class Hippocrates:
         report.quarantined = list(self.quarantined)
         report.downgrades = list(self.downgrades)
         report.trace_warnings = list(self.trace_warnings)
-        verify_module(self.module)
+        obs.count("pipeline.fixes_applied", len(applied))
+        obs.count("pipeline.bugs_quarantined", len(self.quarantined))
+        with obs.span("phase.verify"):
+            verify_module(self.module)
         return report
 
     # -- one-shot ------------------------------------------------------------------------

@@ -9,11 +9,19 @@ Two reductions, both direct from the paper's §4.3:
    basic block whose bugs share the same durability boundary keep one
    fence — after the last flush — because a single ``M`` with
    ``F(X1) -> M`` and ``F(X2) -> M`` orders both.
+
+Coalescing groups by the *set* of boundaries a fix's bugs need ordered,
+not by any single representative bug: after duplicate elimination a
+merged fix can discharge bugs with different boundaries, and demoting
+its fence because it shares a block with a fix for just one of those
+boundaries would leave the other boundary's ``F(X) -> M`` edge
+unsatisfied.  Only fixes whose boundary sets match exactly may share a
+fence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..ir.basicblock import BasicBlock
 from .fixes import (
@@ -57,27 +65,44 @@ def _dedupe(fixes: List[Fix]) -> List[Fix]:
     return [merged[key] for key in order]
 
 
+def _boundary_set(fix: InsertFlushAndFence) -> FrozenSet[int]:
+    """Every boundary iid this fix's fence must order flushes before."""
+    if not fix.bugs:
+        return frozenset({-1})
+    return frozenset(bug.boundary.iid for bug in fix.bugs)
+
+
 def _coalesce_fences(fixes: List[Fix]) -> List[Fix]:
-    """Keep one fence per (block, boundary) group of flush&fence fixes."""
-    groups: Dict[Tuple[int, int], List[InsertFlushAndFence]] = {}
-    for fix in fixes:
+    """Keep one fence per (block, boundary-set) group of flush&fence
+    fixes.
+
+    The group key is the frozen set of *all* boundary iids the fix's
+    bugs reference — a fix that (after ``_dedupe``) discharges bugs
+    with two different boundaries may only coalesce with a fix needing
+    the same two, never with a single-boundary neighbour.  Group
+    members are tracked by list position, not by value: ``Fix``
+    subclasses are dataclasses with value equality, so ``list.index``
+    could demote a different-but-equal entry.
+    """
+    groups: Dict[
+        Tuple[int, FrozenSet[int]], List[Tuple[int, InsertFlushAndFence]]
+    ] = {}
+    for pos, fix in enumerate(fixes):
         if not isinstance(fix, InsertFlushAndFence):
             continue
         block = fix.store.parent
-        boundary_iid = fix.bugs[0].boundary.iid if fix.bugs else -1
-        groups.setdefault((id(block), boundary_iid), []).append(fix)
+        groups.setdefault((id(block), _boundary_set(fix)), []).append((pos, fix))
 
     result: List[Fix] = list(fixes)
     for group in groups.values():
         if len(group) < 2:
             continue
-        block: BasicBlock = group[0].store.parent  # type: ignore[assignment]
+        block: BasicBlock = group[0][1].store.parent  # type: ignore[assignment]
         # The fix whose store appears last in the block keeps its fence;
         # the rest become flush-only fixes.
-        group.sort(key=lambda f: block.index_of(f.store))
-        for fix in group[:-1]:
-            index = result.index(fix)
-            result[index] = InsertFlush(
+        group.sort(key=lambda entry: block.index_of(entry[1].store))
+        for pos, fix in group[:-1]:
+            result[pos] = InsertFlush(
                 bugs=fix.bugs, store=fix.store, flush_kind=fix.flush_kind
             )
     return result

@@ -32,14 +32,17 @@ def pmemcheck_run(
     driver: Driver,
     cost_model: Optional[CostModel] = None,
     fuel: int = 50_000_000,
+    metrics=None,
 ) -> Tuple[DetectionResult, PMTrace, Interpreter]:
     """Execute ``driver`` against ``module`` under pmemcheck-style tracing.
 
     Returns the detection result, the trace (which Hippocrates
     consumes), and the finished interpreter (for inspecting machine
-    state or observable output).
+    state or observable output).  ``metrics`` (an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives the
+    interpreter's step/flush/fence/store totals.
     """
-    interp = Interpreter(module, cost_model=cost_model, fuel=fuel)
+    interp = Interpreter(module, cost_model=cost_model, fuel=fuel, metrics=metrics)
     driver(interp)
     trace = interp.finish()
     return check_trace(trace), trace, interp

@@ -82,10 +82,16 @@ class ResumeRecord:
     problems: List[str] = field(default_factory=list)
     replayed: int = 0
     reexecuted: int = 0
+    #: True when the kill and resume runs carried live observability —
+    #: the byte-identity check then also proves spans/metrics stay off
+    #: the canonical path across a crash
+    obs: bool = False
 
     def describe(self) -> str:
         status = "ok" if self.ok else "FAIL"
         kind = "torn " if self.torn else ""
+        if self.obs:
+            kind += "obs "
         line = (
             f"[{status}] {kind}kill@checkpoint {self.boundary}: "
             f"{self.replayed} replayed, {self.reexecuted} re-executed"
@@ -183,13 +189,23 @@ def run_kill_resume(
     torn: bool,
     mode: str = "inprocess",
     heuristic: str = "full",
+    obs_factory=None,
 ) -> ResumeRecord:
-    """Kill a fresh batch at one checkpoint boundary, resume, compare."""
-    record = ResumeRecord(boundary=boundary, torn=torn)
+    """Kill a fresh batch at one checkpoint boundary, resume, compare.
+
+    ``obs_factory`` (a zero-argument callable returning a fresh
+    :class:`~repro.obs.observability.Observability`) instruments both
+    the killed run and the resume — the byte-identity comparison then
+    doubles as the proof that observability stays off the canonical
+    path even across a crash.
+    """
+    record = ResumeRecord(boundary=boundary, torn=torn,
+                          obs=obs_factory is not None)
     config = _config(mode, heuristic)
     plan = FaultPlan("supervisor", mode="kill-supervisor-at-nth", nth=boundary)
     try:
-        run_batch(tasks, journal_path=journal_path, config=config, fault=plan)
+        run_batch(tasks, journal_path=journal_path, config=config, fault=plan,
+                  obs=obs_factory() if obs_factory else None)
     except SupervisorKilled:
         pass  # the simulated SIGKILL
     else:
@@ -205,7 +221,8 @@ def run_kill_resume(
 
     try:
         resumed: BatchReport = run_batch(
-            tasks, journal_path=journal_path, resume=True, config=config
+            tasks, journal_path=journal_path, resume=True, config=config,
+            obs=obs_factory() if obs_factory else None,
         )
     except Exception as exc:
         record.ok = False
@@ -356,6 +373,32 @@ def run_resume_campaign(
                 progress(record.describe())
             if record.ok:
                 os.unlink(journal_path)
+
+    # 2b. one observability-enabled variant at a middle boundary: the
+    # byte-identity contract must hold with spans/metrics live through
+    # both the killed run and the resume.
+    if result.checkpoints:
+        from ..obs.observability import Observability
+
+        boundary = max(1, result.checkpoints // 2)
+        journal_path = os.path.join(journal_dir, f"kill-{boundary}-obs.journal")
+        if os.path.exists(journal_path):
+            os.unlink(journal_path)
+        record = run_kill_resume(
+            tasks,
+            journal_path,
+            boundary,
+            baseline_bytes,
+            torn=False,
+            mode=mode,
+            heuristic=heuristic,
+            obs_factory=Observability,
+        )
+        result.records.append(record)
+        if progress is not None:
+            progress(record.describe())
+        if record.ok:
+            os.unlink(journal_path)
 
     # 3. the worker hang/kill matrix
     if worker_checks:

@@ -180,6 +180,7 @@ class Interpreter:
         cost_model: Optional[CostModel] = None,
         fuel: int = 50_000_000,
         record_volatile_stores: bool = False,
+        metrics=None,
     ):
         self.module = module
         self.machine = machine or Machine(record_volatile_stores)
@@ -191,6 +192,10 @@ class Interpreter:
         self.frames: List[Frame] = []
         self.output: List[int] = []
         self._finished = False
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry`; step and
+        #: flush/fence/store totals are folded in once, at :meth:`finish`
+        #: — nothing touches the registry on the hot execution path.
+        self.metrics = metrics
 
     # -- stack capture -----------------------------------------------------------------
 
@@ -250,6 +255,16 @@ class Interpreter:
         if not self._finished:
             self._finished = True
             self._record_exit_boundary()
+            if self.metrics is not None:
+                counts = self.costs.counts
+                self.metrics.counter("interp.steps").inc(self.steps)
+                self.metrics.counter("interp.cycles").inc(self.costs.cycles)
+                for kind, name in (
+                    ("store", "interp.stores"),
+                    ("flush", "interp.flushes"),
+                    ("fence", "interp.fences"),
+                ):
+                    self.metrics.counter(name).inc(counts.get(kind, 0))
         return self.machine.trace
 
     @property

@@ -1,0 +1,86 @@
+"""cProfile wrapping with top-N hotspot extraction.
+
+``repro batch --profile`` wraps the batch run in :mod:`cProfile` and
+reports the hottest functions by cumulative time — the ground truth a
+perf PR needs before touching anything.  Kept separate from spans on
+purpose: spans answer "which *phase* is slow", the profiler answers
+"which *function* inside it", and only the first is cheap enough to
+leave on.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One row of the profile: a function and its aggregate costs."""
+
+    function: str
+    calls: int
+    total_seconds: float  # time in the function itself (tottime)
+    cumulative_seconds: float  # including callees (cumtime)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "cumulative_seconds": self.cumulative_seconds,
+        }
+
+
+def _function_label(key: Tuple[str, int, str]) -> str:
+    filename, line, name = key
+    if filename == "~":  # built-in
+        return name
+    return f"{filename}:{line}({name})"
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top_n: int = 25, **kwargs: Any
+) -> Tuple[Any, List[Hotspot]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, hotspots)`` — the hotspots sorted by cumulative
+    time, at most ``top_n`` of them.  The profiler is disabled even if
+    ``fn`` raises, so no tracing leaks into the caller.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # ct: cumulative time
+        reverse=True,
+    )
+    hotspots = [
+        Hotspot(
+            function=_function_label(key),
+            calls=nc,
+            total_seconds=tt,
+            cumulative_seconds=ct,
+        )
+        for key, (cc, nc, tt, ct, callers) in rows[:top_n]
+    ]
+    return result, hotspots
+
+
+def format_hotspots(hotspots: List[Hotspot]) -> str:
+    """A fixed-width table of the hotspots, widest costs first."""
+    lines = [f"profile: top {len(hotspots)} function(s) by cumulative time",
+             f"{'cumsec':>10} {'totsec':>10} {'calls':>9}  function"]
+    for spot in hotspots:
+        lines.append(
+            f"{spot.cumulative_seconds:>10.4f} {spot.total_seconds:>10.4f} "
+            f"{spot.calls:>9}  {spot.function}"
+        )
+    return "\n".join(lines)

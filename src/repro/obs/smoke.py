@@ -1,0 +1,134 @@
+"""Observability smoke check: ``python -m repro.obs.smoke``.
+
+Runs a small corpus batch twice — observability off, then on — and
+checks the whole contract end to end:
+
+1. the two canonical batch reports are **byte-identical** (metrics and
+   spans never leak into the deterministic output);
+2. the spans JSONL parses and every record matches the documented
+   schema;
+3. the metrics snapshot validates and contains the pipeline's core
+   counters;
+4. the metrics artifact is written (for CI upload).
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  This is
+the CI ``obs-smoke`` job's entry point, but it runs anywhere the
+package does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from .observability import Observability
+from .sink import JsonlSink, load_metrics, validate_spans_file
+
+#: counters an instrumented corpus batch must have touched
+REQUIRED_COUNTERS = ("pipeline.bugs", "pipeline.fixes_applied", "interp.steps")
+
+
+def run_smoke(
+    cases: int = 3,
+    metrics_out: Optional[str] = None,
+    spans_out: Optional[str] = None,
+    mode: str = "inprocess",
+) -> List[str]:
+    """Run the smoke check; returns a list of problems (empty = pass)."""
+    from ..supervisor import SupervisorConfig, corpus_tasks, run_batch
+
+    problems: List[str] = []
+    config = SupervisorConfig(mode=mode, jobs=2)
+    case_ids = [task.task_id for task in corpus_tasks()][:cases]
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
+        spans_path = spans_out or os.path.join(tmp, "spans.jsonl")
+        metrics_path = metrics_out or os.path.join(tmp, "metrics.json")
+
+        baseline = run_batch(
+            corpus_tasks(case_ids),
+            journal_path=os.path.join(tmp, "off.journal"),
+            config=config,
+        )
+        baseline_bytes = baseline.canonical_json()
+
+        sink = JsonlSink(spans_path)
+        obs = Observability(sink=sink)
+        try:
+            instrumented = run_batch(
+                corpus_tasks(case_ids),
+                journal_path=os.path.join(tmp, "on.journal"),
+                config=config,
+                obs=obs,
+            )
+        finally:
+            obs.close()
+        obs.write_metrics(metrics_path)
+
+        if instrumented.canonical_json() != baseline_bytes:
+            problems.append(
+                "canonical report differs with observability enabled"
+            )
+        if sink.dropped:
+            problems.append(f"sink dropped {sink.dropped} record(s)")
+
+        try:
+            count = validate_spans_file(spans_path)
+        except Exception as exc:
+            problems.append(f"spans file invalid: {exc}")
+        else:
+            if count == 0:
+                problems.append("spans file is empty")
+            else:
+                print(f"spans: {count} valid record(s) in {spans_path}")
+
+        try:
+            payload = load_metrics(metrics_path)
+        except Exception as exc:
+            problems.append(f"metrics file invalid: {exc}")
+        else:
+            counters = payload.get("counters", {})
+            for name in REQUIRED_COUNTERS:
+                if not counters.get(name):
+                    problems.append(f"metrics missing counter {name!r}")
+            print(
+                f"metrics: {len(counters)} counter(s) in {metrics_path}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.smoke",
+        description="observability smoke check: byte-identity + schema",
+    )
+    parser.add_argument("--cases", type=int, default=3,
+                        help="corpus cases to run (default: %(default)s)")
+    parser.add_argument("--metrics-out", help="keep the metrics artifact here")
+    parser.add_argument("--spans-out", help="keep the spans artifact here")
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "subprocess", "inprocess"),
+        default="inprocess",
+        help="supervisor worker mode (default: %(default)s)",
+    )
+    ns = parser.parse_args(argv)
+    problems = run_smoke(
+        cases=ns.cases,
+        metrics_out=ns.metrics_out,
+        spans_out=ns.spans_out,
+        mode=ns.mode,
+    )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("obs smoke: canonical bytes identical, schema valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Structured span tracing over an injectable monotonic clock.
+
+A *span* is a named, nested interval of work — ``phase.apply`` inside
+``task`` inside ``batch`` — and an *event* is a named instant
+(``supervisor.retry``).  Both are emitted as flat JSONL records so the
+output is greppable and diffable without a viewer.
+
+The clock is injectable: production uses ``time.monotonic``, tests use
+:class:`ManualClock` (a deterministic counter), which makes the entire
+span output **byte-stable** — the determinism tests literally compare
+JSONL bytes of two instrumented runs.  That property is also the
+guard-rail for the subsystem's core contract: spans carry timing and
+structure only, never repair results, so they can never feed back into
+the canonical batch report.
+
+Record schema (see :mod:`repro.obs.sink` for the validator):
+
+- span:  ``{"type": "span", "span_id": n, "parent_id": m, "name": s,
+  "start": t0, "end": t1, "duration": t1 - t0, "attrs": {...}?,
+  "error": "ExcType"?}`` — emitted when the span *closes* (children
+  therefore precede parents, as in Chrome trace format);
+- event: ``{"type": "event", "name": s, "ts": t, "parent_id": m,
+  "attrs": {...}?}``.
+
+``parent_id`` 0 means top-level.  Attribute values must be JSON
+scalars; the tracer coerces anything else through ``str`` so a stray
+object can never make a record unserializable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class ManualClock:
+    """A deterministic monotonic clock for tests.
+
+    Every reading advances time by ``step``, so the k-th clock access
+    of a run always returns the same value — making span output a pure
+    function of the instrumented code path.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self._step
+        return now
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON scalars (observability must
+    never raise because a caller attached a rich object)."""
+    cleaned: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            cleaned[key] = value
+        else:
+            cleaned[key] = str(value)
+    return cleaned
+
+
+class _SpanHandle:
+    """Context manager for one open span (re-entry not supported)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.start = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(_clean_attrs(attrs))
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self, exc_type)
+
+
+class Tracer:
+    """Builds nested spans and point events; emits them as records.
+
+    :param clock: a zero-argument callable returning monotonic seconds
+        (default ``time.monotonic``; tests inject :class:`ManualClock`).
+    :param sink: anything with ``emit(record: dict)``; when None,
+        finished records buffer in :attr:`records` instead.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        sink: Optional[Any] = None,
+    ):
+        self.clock = clock or time.monotonic
+        self.sink = sink
+        #: finished records, oldest first (only when no sink is attached)
+        self.records: List[Dict[str, Any]] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- span plumbing --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A context manager timing the enclosed block."""
+        return _SpanHandle(self, name, _clean_attrs(attrs))
+
+    def _open(self, handle: _SpanHandle) -> None:
+        handle.span_id = self._next_id
+        self._next_id += 1
+        handle.parent_id = self._stack[-1] if self._stack else 0
+        self._stack.append(handle.span_id)
+        handle.start = self.clock()
+
+    def _close(self, handle: _SpanHandle, exc_type) -> None:
+        end = self.clock()
+        if self._stack and self._stack[-1] == handle.span_id:
+            self._stack.pop()
+        record: Dict[str, Any] = {
+            "type": "span",
+            "span_id": handle.span_id,
+            "parent_id": handle.parent_id,
+            "name": handle.name,
+            "start": handle.start,
+            "end": end,
+            "duration": end - handle.start,
+        }
+        if handle.attrs:
+            record["attrs"] = handle.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._emit(record)
+
+    # -- events ---------------------------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a named instant under the currently open span."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "ts": self.clock(),
+            "parent_id": self._stack[-1] if self._stack else 0,
+        }
+        cleaned = _clean_attrs(attrs)
+        if cleaned:
+            record["attrs"] = cleaned
+        self._emit(record)
+
+    # -- output ---------------------------------------------------------------
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self.sink is not None:
+            self.sink.emit(record)
+        else:
+            self.records.append(record)

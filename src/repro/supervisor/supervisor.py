@@ -43,9 +43,22 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.observability import NULL_OBS, Observability
 from .journal import CheckpointJournal, RecoveredJournal
 from .report import DONE, QUARANTINED, BatchReport, TaskOutcome
 from .tasks import RepairTask, TaskResult, execute_task
+
+#: the analysis-stats keys a batch report aggregates, and the metrics
+#: counters (``analysis.<key>``) a worker's METRICS snapshot carries
+#: them under
+ANALYSIS_STAT_KEYS = (
+    "hits",
+    "misses",
+    "invalidations",
+    "failures_replayed",
+    "disk_hits",
+    "disk_misses",
+)
 
 #: execution modes
 MODES = ("auto", "subprocess", "inprocess")
@@ -125,7 +138,8 @@ class _WorkerHandle:
         self.last_heartbeat = self.started
         self.result_record: Optional[Dict[str, Any]] = None
         self.outcome_obj = None  # rich CaseOutcome (in-process only)
-        self.stats_record: Optional[Dict[str, Any]] = None  # volatile STATS line
+        self.stats_record: Optional[Dict[str, Any]] = None  # volatile analysis stats
+        self.metrics_record: Optional[Dict[str, Any]] = None  # METRICS snapshot
         self.fail_info: Optional[Dict[str, Any]] = None
         self.silent_death = False
 
@@ -139,12 +153,18 @@ class _WorkerHandle:
 class _SubprocessWorker(_WorkerHandle):
     """A worker subprocess plus its stdout/stderr reader threads."""
 
-    def __init__(self, task, index, attempt, config, fault_env: str):
+    def __init__(self, task, index, attempt, config, fault_env: str,
+                 obs: Observability = NULL_OBS):
         super().__init__(task, index, attempt)
+        self._obs = obs
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
         env["REPRO_WORKER_HEARTBEAT"] = str(config.heartbeat_interval)
+        if obs.enabled:
+            env["REPRO_WORKER_OBS"] = "1"
+        else:
+            env.pop("REPRO_WORKER_OBS", None)
         if fault_env:
             env["REPRO_WORKER_FAULT"] = fault_env
         else:
@@ -174,9 +194,19 @@ class _SubprocessWorker(_WorkerHandle):
             with self._lock:
                 if line.startswith("HB "):
                     self.last_heartbeat = time.monotonic()
-                elif line.startswith("STATS "):
+                    self._obs.event(
+                        "supervisor.heartbeat",
+                        task=self.task.task_id,
+                        attempt=self.attempt,
+                    )
+                elif line.startswith("METRICS "):
                     try:
-                        self.stats_record = json.loads(line[len("STATS "):])
+                        self._ingest_metrics(json.loads(line[len("METRICS "):]))
+                    except ValueError:
+                        pass  # observability only; never fails the task
+                elif line.startswith("OBS "):
+                    try:
+                        self._forward_obs(json.loads(line[len("OBS "):]))
                     except ValueError:
                         pass  # observability only; never fails the task
                 elif line.startswith("RESULT "):
@@ -196,6 +226,31 @@ class _SubprocessWorker(_WorkerHandle):
                             "error": "unparseable FAIL line",
                         }
         self.proc.stdout.close()
+
+    def _ingest_metrics(self, snapshot: Any) -> None:
+        """Keep the worker's METRICS snapshot and derive from it the
+        analysis-stats dict the batch report aggregates (the typed
+        replacement for the old free-form STATS line)."""
+        if not isinstance(snapshot, dict):
+            return
+        self.metrics_record = snapshot
+        counters = snapshot.get("counters") or {}
+        if isinstance(counters, dict):
+            self.stats_record = {
+                key: int(counters.get(f"analysis.{key}", 0) or 0)
+                for key in ANALYSIS_STAT_KEYS
+            }
+
+    def _forward_obs(self, record: Any) -> None:
+        """Re-emit a worker's span/event record into the batch sink,
+        stamped with which task attempt produced it."""
+        if not isinstance(record, dict) or not self._obs.enabled:
+            return
+        attrs = record.setdefault("attrs", {})
+        if isinstance(attrs, dict):
+            attrs.setdefault("task", self.task.task_id)
+            attrs.setdefault("attempt", self.attempt)
+        self._obs.emit(record)
 
     def _read_stderr(self) -> None:
         for line in self.proc.stderr:
@@ -246,8 +301,10 @@ class _InprocessWorker(_WorkerHandle):
 
     heartbeats = False  # a thread cannot heartbeat mid-task
 
-    def __init__(self, task, index, attempt, config, fault_env: str):
+    def __init__(self, task, index, attempt, config, fault_env: str,
+                 obs: Observability = NULL_OBS):
         super().__init__(task, index, attempt)
+        self._obs = obs
         self._fault_env = fault_env
         self._done = threading.Event()
         self._abandoned = False
@@ -263,7 +320,10 @@ class _InprocessWorker(_WorkerHandle):
             if self._fault_env == "kill":
                 self.silent_death = True
                 return
-            result: TaskResult = execute_task(self.task)
+            # In-process workers share the supervisor's facade directly:
+            # spans stream straight into the batch sink and metrics land
+            # in the batch registry with no merge step.
+            result: TaskResult = execute_task(self.task, obs=self._obs)
             self.result_record = result.record
             self.outcome_obj = result.outcome
             self.stats_record = result.stats
@@ -313,6 +373,10 @@ class BatchSupervisor:
         ``kill-worker-at-nth``, ``kill-supervisor-at-nth``) from
         :mod:`repro.faultinject.plans`; duck-typed — anything with
         ``mode``, ``nth`` and ``attempts`` attributes works.
+    :param obs: an :class:`~repro.obs.observability.Observability`
+        facade.  Lifecycle events (spawn, heartbeat, retry, kill,
+        quarantine, resume) and worker metrics flow into it; the
+        canonical report is byte-identical with it on or off.
     """
 
     def __init__(
@@ -321,6 +385,7 @@ class BatchSupervisor:
         journal_path: Optional[str] = None,
         config: Optional[SupervisorConfig] = None,
         fault=None,
+        obs: Optional[Observability] = None,
     ):
         seen = set()
         for task in tasks:
@@ -331,6 +396,7 @@ class BatchSupervisor:
         self.journal_path = journal_path
         self.config = config or SupervisorConfig()
         self.fault = fault
+        self.obs = obs if obs is not None else NULL_OBS
         self._journal: Optional[CheckpointJournal] = None
         self._draining = False
         self._drain_signal = ""
@@ -389,12 +455,21 @@ class BatchSupervisor:
 
     def _spawn(self, task: RepairTask, index: int, attempt: int) -> _WorkerHandle:
         fault_env = self._worker_fault_env(index, attempt)
+        self.obs.event(
+            "supervisor.spawn", task=task.task_id, attempt=attempt,
+            mode=self._mode,
+        )
+        self.obs.count("supervisor.spawns")
         if self._mode == "subprocess":
             try:
-                return _SubprocessWorker(task, index, attempt, self.config, fault_env)
+                return _SubprocessWorker(
+                    task, index, attempt, self.config, fault_env, obs=self.obs
+                )
             except OSError as exc:
                 raise SupervisorError(f"cannot spawn worker: {exc}") from exc
-        return _InprocessWorker(task, index, attempt, self.config, fault_env)
+        return _InprocessWorker(
+            task, index, attempt, self.config, fault_env, obs=self.obs
+        )
 
     def _resolve_mode(self) -> None:
         if self.config.mode != "auto":
@@ -470,6 +545,12 @@ class BatchSupervisor:
             raise SupervisorError("resume requires a journal path")
         started = time.monotonic()
         self._resolve_mode()
+        self.obs.event(
+            "batch.start",
+            tasks=len(self.tasks),
+            mode=self._mode,
+            resume=resume,
+        )
         report = BatchReport(heuristic=self.config.heuristic, mode=self._mode)
         outcomes_by_id: Dict[str, TaskOutcome] = {}
 
@@ -499,6 +580,12 @@ class BatchSupervisor:
                             "torn_at": recovered.torn_at,
                         }
                     )
+                    self.obs.event(
+                        "supervisor.resume",
+                        replayed=len(outcomes_by_id),
+                        pending=len(pending),
+                    )
+                    self.obs.count("supervisor.replayed", len(outcomes_by_id))
             else:
                 pending = list(self.tasks)
                 self._append(self._batch_start_record())
@@ -527,6 +614,12 @@ class BatchSupervisor:
             else:
                 self._append({"type": "batch-end", "totals": report.totals()})
             report.elapsed_seconds = time.monotonic() - started
+            self.obs.event(
+                "batch.end",
+                interrupted=report.interrupted,
+                done=sum(1 for o in report.outcomes if o.status == DONE),
+                quarantined=len(report.quarantined),
+            )
             return report
         finally:
             self._restore_signals(previous_handlers)
@@ -606,6 +699,13 @@ class BatchSupervisor:
                         if hung
                         else f"watchdog: task exceeded {config.task_timeout}s"
                     )
+                    self.obs.event(
+                        "supervisor.kill",
+                        task=worker.task.task_id,
+                        attempt=worker.attempt,
+                        reason=reason,
+                    )
+                    self.obs.count("supervisor.watchdog_kills")
                     worker.fail_info = {"error_type": "WatchdogTimeout", "error": reason}
                     self._record_failure(
                         worker, queue, index_of, outcomes_by_id, report
@@ -638,8 +738,19 @@ class BatchSupervisor:
     def _record_done(
         self, worker: _WorkerHandle, outcomes_by_id, report: BatchReport
     ) -> None:
-        # The journaled record excludes the volatile STATS payload: a
+        # The journaled record excludes the volatile metrics payload: a
         # resumed batch replays results, not cache weather.
+        if worker.metrics_record is not None:
+            # Subprocess workers ship a full registry snapshot; fold it
+            # into the batch registry (in-process workers wrote to it
+            # directly, so they have nothing to merge).
+            self.obs.merge_metrics(worker.metrics_record)
+        self.obs.event(
+            "supervisor.done",
+            task=worker.task.task_id,
+            attempt=worker.attempt,
+        )
+        self.obs.count("supervisor.tasks_done")
         self._append(
             {
                 "type": "task-done",
@@ -684,6 +795,15 @@ class BatchSupervisor:
                 }
             )
             report.total_retries += 1
+            self.obs.event(
+                "supervisor.retry",
+                task=task_id,
+                attempt=worker.attempt,
+                delay=round(delay, 6),
+                error=error,
+            )
+            self.obs.count("supervisor.retries")
+            self.obs.observe("supervisor.backoff_seconds", delay)
             self._notify("retry", task_id, error)
             heapq.heappush(
                 queue,
@@ -709,6 +829,13 @@ class BatchSupervisor:
             error=error,
             attempts=worker.attempt,
         )
+        self.obs.event(
+            "supervisor.quarantine",
+            task=task_id,
+            attempts=worker.attempt,
+            error=error,
+        )
+        self.obs.count("supervisor.quarantines")
         self._notify("quarantine", task_id, error)
 
 
@@ -724,10 +851,11 @@ def run_batch(
     config: Optional[SupervisorConfig] = None,
     fault=None,
     progress=None,
+    obs: Optional[Observability] = None,
 ) -> BatchReport:
     """Build a :class:`BatchSupervisor` and run it (the CLI's engine)."""
     supervisor = BatchSupervisor(
-        tasks, journal_path=journal_path, config=config, fault=fault
+        tasks, journal_path=journal_path, config=config, fault=fault, obs=obs
     )
     supervisor.progress = progress
     return supervisor.run(resume=resume)

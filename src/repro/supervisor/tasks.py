@@ -28,6 +28,7 @@ from ..corpus.bugs import BugCase, all_cases, classify_fix, compare_fix_kinds
 from ..detect import pmemcheck_run
 from ..errors import ReproError
 from ..ir.printer import format_module
+from ..obs.observability import NULL_OBS, Observability
 
 #: task kinds
 KINDS = ("corpus", "file")
@@ -67,20 +68,28 @@ def run_case(
     case: BugCase,
     heuristic: str = "full",
     analysis_cache_dir: Optional[str] = None,
+    obs: Optional[Observability] = None,
 ) -> CaseOutcome:
     """Detect, fix, and revalidate one corpus case."""
+    obs = obs if obs is not None else NULL_OBS
+    metrics = obs.metrics if obs.enabled else None
     module = case.build()
-    detection, trace, interp = pmemcheck_run(module, case.drive)
+    with obs.span("detect", case=case.case_id):
+        detection, trace, interp = pmemcheck_run(
+            module, case.drive, metrics=metrics
+        )
     fixer = Hippocrates(
         module,
         trace,
         interp.machine,
         heuristic=heuristic,
         analysis_cache_dir=analysis_cache_dir,
+        obs=obs,
     )
     plan = fixer.compute_fixes()
     fix_report = fixer.apply(plan)
-    after, _, _ = pmemcheck_run(module, case.drive)
+    with obs.span("revalidate", case=case.case_id):
+        after, _, _ = pmemcheck_run(module, case.drive, metrics=metrics)
     kinds = sorted({classify_fix(f) for f in plan.fixes})
     comparison = None
     if case.developer_fix:
@@ -236,7 +245,7 @@ def _corpus_record(task: RepairTask, outcome: CaseOutcome, digest: str) -> Dict[
     return record
 
 
-def execute_task(task: RepairTask) -> TaskResult:
+def execute_task(task: RepairTask, obs: Optional[Observability] = None) -> TaskResult:
     """Run one task to completion and return its deterministic result.
 
     Corpus tasks rebuild everything from the case id, so re-executing a
@@ -245,21 +254,27 @@ def execute_task(task: RepairTask) -> TaskResult:
     failed attempt.  File tasks write their output atomically
     (:func:`~repro.fsutil.atomic_write_text`), so a kill mid-task never
     tears the output module on disk.
+
+    ``obs`` instruments the execution (a ``task`` span around the whole
+    run, phase spans inside); it never changes ``record``.
     """
-    if task.kind == "corpus":
-        case = _find_case(task.case_id)
-        outcome = run_case(
-            case,
-            heuristic=task.heuristic,
-            analysis_cache_dir=task.analysis_cache_dir,
-        )
-        digest = _module_digest(outcome.module)
-        return TaskResult(
-            record=_corpus_record(task, outcome, digest),
-            outcome=outcome,
-            stats=outcome.analysis_stats,
-        )
-    return _execute_file_task(task)
+    obs = obs if obs is not None else NULL_OBS
+    with obs.span("task", task=task.task_id, kind=task.kind):
+        if task.kind == "corpus":
+            case = _find_case(task.case_id)
+            outcome = run_case(
+                case,
+                heuristic=task.heuristic,
+                analysis_cache_dir=task.analysis_cache_dir,
+                obs=obs,
+            )
+            digest = _module_digest(outcome.module)
+            return TaskResult(
+                record=_corpus_record(task, outcome, digest),
+                outcome=outcome,
+                stats=outcome.analysis_stats,
+            )
+        return _execute_file_task(task, obs)
 
 
 def _find_case(case_id: str) -> BugCase:
@@ -269,7 +284,7 @@ def _find_case(case_id: str) -> BugCase:
     raise TaskError(f"unknown corpus case {case_id!r}")
 
 
-def _execute_file_task(task: RepairTask) -> TaskResult:
+def _execute_file_task(task: RepairTask, obs: Observability = NULL_OBS) -> TaskResult:
     from ..fsutil import atomic_write_text
     from ..ir.parser import parse_module
     from ..ir.verifier import verify_module
@@ -286,6 +301,7 @@ def _execute_file_task(task: RepairTask) -> TaskResult:
         lenient=task.lenient,
         trace_source=task.trace_path,
         analysis_cache_dir=task.analysis_cache_dir,
+        obs=obs,
     )
     plan = fixer.compute_fixes()
     report = fixer.apply(plan)

@@ -10,11 +10,13 @@ Protocol (line-oriented, over stdio):
   RepairTask` spec.
 - stdout: ``HB <n>`` heartbeat lines every ``REPRO_WORKER_HEARTBEAT``
   seconds from a daemon thread (so a worker stuck in a long Andersen
-  fixpoint still heartbeats, while a *dead* one goes silent);
-  optionally one ``STATS <json>`` line — volatile analysis-cache
-  counters (hit/miss), reported separately from the result precisely so
-  they never enter the deterministic record or the journal — then
-  exactly one terminal line:
+  fixpoint still heartbeats, while a *dead* one goes silent); when
+  ``REPRO_WORKER_OBS=1``, interleaved ``OBS <json>`` lines — span/event
+  records forwarded live to the supervisor's sink; one
+  ``METRICS <json>`` line — the full volatile metrics snapshot
+  (analysis-cache counters, interpreter totals, pipeline counts),
+  reported separately from the result precisely so it never enters the
+  deterministic record or the journal — then exactly one terminal line:
 
   - ``RESULT <json>`` — the deterministic task result record, or
   - ``FAIL <json>`` — ``{"error_type", "error", "traceback"}``.
@@ -43,6 +45,27 @@ import time
 import traceback
 
 
+class _StdoutSink:
+    """Forward span/event records to the supervisor as ``OBS`` lines.
+
+    Line-oriented like the rest of the protocol; the supervisor's
+    stdout reader re-emits each record into its own sink with the task
+    id attached.
+    """
+
+    def __init__(self) -> None:
+        self.dropped = 0
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        try:
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            print(f"OBS {line}", flush=True)
+            self.emitted += 1
+        except (OSError, ValueError, TypeError):
+            self.dropped += 1
+
+
 def _start_heartbeats(interval: float) -> None:
     def beat() -> None:
         n = 0
@@ -65,6 +88,7 @@ def _inject_fault() -> None:
 
 
 def main() -> int:
+    from ..obs.observability import Observability
     from .tasks import RepairTask, execute_task
 
     interval = float(os.environ.get("REPRO_WORKER_HEARTBEAT", "0.2"))
@@ -77,8 +101,14 @@ def main() -> int:
         return 2
     _start_heartbeats(interval)
     _inject_fault()
+    # The worker always runs instrumented: the metrics snapshot is the
+    # replacement for the old STATS line, so the supervisor can derive
+    # analysis stats from it in every configuration.  Span *forwarding*
+    # costs a stdout line per record, so it stays opt-in.
+    forward_spans = os.environ.get("REPRO_WORKER_OBS", "") == "1"
+    obs = Observability(sink=_StdoutSink() if forward_spans else None)
     try:
-        result = execute_task(task)
+        result = execute_task(task, obs=obs)
     except Exception as exc:
         payload = {
             "error_type": type(exc).__name__,
@@ -87,8 +117,8 @@ def main() -> int:
         }
         print(f"FAIL {json.dumps(payload)}", flush=True)
         return 3
-    if result.stats is not None:
-        print(f"STATS {json.dumps(result.stats, sort_keys=True)}", flush=True)
+    print(f"METRICS {json.dumps(obs.metrics_snapshot(), sort_keys=True)}",
+          flush=True)
     print(f"RESULT {json.dumps(result.record, sort_keys=True)}", flush=True)
     return 0
 

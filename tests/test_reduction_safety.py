@@ -1,0 +1,183 @@
+"""Fence-coalescing safety: boundary-set grouping and positional demotion.
+
+Regression coverage for two bugs in ``_coalesce_fences``:
+
+1. Grouping used ``fix.bugs[0].boundary.iid`` — a single representative
+   bug — so a merged fix discharging bugs with boundaries ``{X, Y}``
+   could coalesce with an ``{X}``-only neighbour and lose the fence
+   that ordered its flush before ``Y``.  Grouping now uses the frozen
+   set of *all* boundary iids.
+2. Demotion located group members with ``result.index(fix)``, which
+   uses dataclass value equality and can pick a different-but-equal
+   entry; members are now tracked by enumerated position.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import InsertFlush, InsertFlushAndFence, reduce_fixes
+from repro.core.reduction import _coalesce_fences
+from repro.detect import BugKind
+from repro.detect.reports import BugReport
+from repro.ir import I64, ModuleBuilder, PTR, SYNTHETIC
+from repro.ir.instructions import Store
+from repro.trace.events import BoundaryEvent, StoreEvent
+
+
+def make_stores(names_and_counts):
+    """Build one function per (name, count); return {name: [Store, ...]}.
+
+    Each function is its own basic block, so stores from different
+    names live in different blocks — which is what coalescing keys on.
+    """
+    mb = ModuleBuilder("t")
+    out = {}
+    for name, count in names_and_counts:
+        b = mb.function(name, [], I64)
+        p = b.call("pm_alloc", [64 * (count + 1)], PTR)
+        for i in range(count):
+            b.store(i + 1, b.gep(p, 64 * i))
+        b.ret(0)
+        block = mb.module.functions[name].entry
+        out[name] = [ins for ins in block.instructions if isinstance(ins, Store)]
+        assert len(out[name]) == count
+    return out
+
+
+_seq = iter(range(10_000, 20_000))
+
+
+def make_bug(store, boundary_iid):
+    """A MISSING_FLUSH_FENCE report tying ``store`` to one boundary."""
+    sev = StoreEvent(
+        seq=next(_seq), iid=store.iid, loc=SYNTHETIC, function="t", stack=()
+    )
+    bev = BoundaryEvent(
+        seq=next(_seq),
+        iid=boundary_iid,
+        loc=SYNTHETIC,
+        function="t",
+        stack=(),
+        label="exit",
+    )
+    return BugReport(kind=BugKind.MISSING_FLUSH_FENCE, store=sev, boundary=bev)
+
+
+def fnf(store, boundary_iids):
+    """An InsertFlushAndFence with one bug per boundary iid."""
+    return InsertFlushAndFence(
+        bugs=[make_bug(store, iid) for iid in boundary_iids],
+        inserted=[],
+        store=store,
+    )
+
+
+def boundary_iids(fix):
+    return {bug.boundary.iid for bug in fix.bugs}
+
+
+class TestBoundarySetGrouping:
+    def test_multi_boundary_fix_keeps_its_fence(self):
+        # The old code grouped by bugs[0].boundary.iid alone: the merged
+        # {100, 200} fix shared representative boundary 100 with the
+        # later single-boundary fix and was demoted to a plain flush,
+        # leaving no fence ordering its flush before boundary 200.
+        stores = make_stores([("f", 2)])["f"]
+        merged = fnf(stores[0], [100, 200])
+        single = fnf(stores[1], [100])
+        reduced = reduce_fixes([merged, single])
+        assert all(isinstance(f, InsertFlushAndFence) for f in reduced)
+        assert len(reduced) == 2
+
+    def test_matching_boundary_sets_still_coalesce(self):
+        stores = make_stores([("f", 3)])["f"]
+        fixes = [fnf(s, [100, 200]) for s in stores]
+        reduced = reduce_fixes(fixes)
+        fenced = [f for f in reduced if isinstance(f, InsertFlushAndFence)]
+        demoted = [f for f in reduced if isinstance(f, InsertFlush)]
+        assert len(fenced) == 1 and len(demoted) == 2
+        # The surviving fence sits at the last store in the block.
+        assert fenced[0].store is stores[-1]
+
+    def test_subset_boundary_sets_do_not_coalesce(self):
+        # {100} is a strict subset of {100, 200}; only exact matches
+        # may share a fence.
+        stores = make_stores([("f", 2)])["f"]
+        reduced = reduce_fixes([fnf(stores[0], [100]), fnf(stores[1], [100, 200])])
+        assert all(isinstance(f, InsertFlushAndFence) for f in reduced)
+
+    def test_blocks_never_share_a_fence(self):
+        both = make_stores([("f", 1), ("g", 1)])
+        reduced = reduce_fixes(
+            [fnf(both["f"][0], [100]), fnf(both["g"][0], [100])]
+        )
+        assert all(isinstance(f, InsertFlushAndFence) for f in reduced)
+
+
+class TestPositionalDemotion:
+    def test_equal_by_value_fixes_demote_by_position(self):
+        # Two fixes that compare equal (same store, equal bug lists).
+        # ``result.index(fix)`` cannot tell them apart; positional
+        # tracking must demote exactly the first entry and keep the
+        # second — the very objects, not lookalikes.
+        stores = make_stores([("f", 1)])["f"]
+        bug = make_bug(stores[0], 100)
+        first = InsertFlushAndFence(bugs=[bug], inserted=[], store=stores[0])
+        second = InsertFlushAndFence(bugs=[bug], inserted=[], store=stores[0])
+        assert first == second and first is not second
+        result = _coalesce_fences([first, second])
+        assert isinstance(result[0], InsertFlush)
+        assert result[1] is second
+
+    def test_demoted_fix_carries_bugs_and_flush_kind(self):
+        stores = make_stores([("f", 2)])["f"]
+        early = fnf(stores[0], [100])
+        late = fnf(stores[1], [100])
+        result = _coalesce_fences([late, early])  # list order != block order
+        demoted = [f for f in result if isinstance(f, InsertFlush)]
+        assert len(demoted) == 1
+        assert demoted[0].store is early.store
+        assert demoted[0].bugs == early.bugs
+        assert demoted[0].flush_kind == early.flush_kind
+
+
+class TestCoalescingInvariant:
+    def test_randomized_plans_never_strand_a_boundary(self):
+        # Property: after reduction, every bug is carried by some fix,
+        # and if that fix lost its fence there must be a fence-bearing
+        # fix in the same block, at or after the demoted store, whose
+        # bugs need the same boundary ordered.
+        rng = random.Random(1337)
+        for _ in range(25):
+            shape = [(f"f{i}", rng.randint(1, 4)) for i in range(rng.randint(1, 3))]
+            blocks = make_stores(shape)
+            fixes = []
+            for stores in blocks.values():
+                for store in stores:
+                    iids = rng.sample([100, 200, 300], rng.randint(1, 2))
+                    fixes.append(fnf(store, iids))
+                    if rng.random() < 0.3:  # duplicate → exercises _dedupe
+                        fixes.append(fnf(store, [rng.choice([100, 200, 300])]))
+            rng.shuffle(fixes)
+            all_bugs = [bug for fix in fixes for bug in fix.bugs]
+
+            reduced = reduce_fixes(fixes)
+
+            carried = [bug for fix in reduced for bug in fix.bugs]
+            assert sorted(id(b) for b in carried) == sorted(
+                id(b) for b in all_bugs
+            )
+            for fix in reduced:
+                if not isinstance(fix, InsertFlush):
+                    continue
+                block = fix.store.parent
+                pos = block.index_of(fix.store)
+                for bug in fix.bugs:
+                    assert any(
+                        isinstance(other, InsertFlushAndFence)
+                        and other.store.parent is block
+                        and block.index_of(other.store) >= pos
+                        and bug.boundary.iid in boundary_iids(other)
+                        for other in reduced
+                    ), "demoted flush left a boundary with no ordering fence"
