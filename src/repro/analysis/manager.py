@@ -61,10 +61,17 @@ POINTS_TO = "points_to"
 CALLGRAPH = "callgraph"
 LOCATOR = "locator"
 VERIFIED = "verified"
+#: The incremental-revalidation baseline (a
+#: :class:`~repro.revalidate.recording.RecordedRun`): the recorded
+#: detection run the engine revalidates flush/fence fixes against.
+#: Structural fixes invalidate it (execution may diverge anywhere), so
+#: it cascades with the structure keys; flush/fence fixes preserve it —
+#: the engine itself reasons incrementally across those.
+REVALIDATION_INDEX = "revalidation_index"
 
 #: Analyses a structural mutation (clone insertion, call retarget)
 #: invalidates; flush/fence insertion preserves them.
-STRUCTURE_KEYS = (POINTS_TO, CALLGRAPH)
+STRUCTURE_KEYS = (POINTS_TO, CALLGRAPH, REVALIDATION_INDEX)
 
 
 def classification_key(mode: str) -> Tuple[str, str]:
@@ -325,6 +332,12 @@ class AnalysisManager:
 
     def _compute_callgraph(self, module: Module) -> CallGraph:
         return CallGraph(module)
+
+    def seed(self, key: Hashable, value: object) -> None:
+        """Install an externally computed value for ``key`` at the
+        current epoch (e.g. a revalidation baseline recorded before the
+        manager existed).  A current cached entry wins."""
+        self._seed(key, value)
 
     def _seed(self, key: Hashable, value: object) -> None:
         """Install a value obtained as a by-product (disk-cache load)

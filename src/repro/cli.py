@@ -177,6 +177,7 @@ def cmd_batch(ns: argparse.Namespace) -> int:
                 ns.cases or None,
                 heuristic=ns.heuristic,
                 analysis_cache_dir=cache_dir,
+                incremental_revalidate=not ns.no_incremental_revalidate,
             )
         )
     for spec in ns.task or []:
@@ -410,6 +411,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the shared analysis cache (every task re-solves "
         "its own whole-program analyses)",
+    )
+    batch.add_argument(
+        "--no-incremental-revalidate",
+        action="store_true",
+        help="revalidate every corpus repair by re-running the full "
+        "workload instead of the incremental engine; results are "
+        "byte-identical either way (escape hatch / differential "
+        "testing)",
     )
     batch.add_argument(
         "--metrics-out",

@@ -59,6 +59,7 @@ from ..analysis.manager import (
     CALLGRAPH,
     LOCATOR,
     POINTS_TO,
+    REVALIDATION_INDEX,
     classification_key,
 )
 from ..budget import Budget
@@ -70,6 +71,7 @@ from ..ir.instructions import Fence
 from ..obs.observability import NULL_OBS, Observability
 from ..ir.module import Module
 from ..ir.verifier import verify_module
+from ..revalidate.witness import spec_for_fix
 from ..trace.pmemcheck import TraceWarning, load_trace
 from ..trace.trace import PMTrace
 from .fixes import (
@@ -263,6 +265,7 @@ class Hippocrates:
         trace_source: str = "",
         analysis_cache_dir: Optional[str] = None,
         obs: Optional[Observability] = None,
+        revalidator=None,
     ):
         if heuristic not in HEURISTICS:
             raise FixError(f"unknown heuristic {heuristic!r}; use {HEURISTICS}")
@@ -299,6 +302,22 @@ class Hippocrates:
             metrics=self.obs.metrics if self.obs.enabled else None,
         )
         self.manager.register(LOCATOR, Locator)
+        #: optional :class:`~repro.revalidate.engine.IncrementalRevalidator`
+        #: — when present, committed fixes feed it their mutation
+        #: witness and :meth:`revalidate` re-checks incrementally.
+        self.revalidator = revalidator
+        #: the last :class:`~repro.revalidate.engine.RevalidationOutcome`
+        self.last_revalidation = None
+        if revalidator is not None:
+            # The baseline is a keyed analysis: structural commits drop
+            # it (it cascades with the structure keys) and the next
+            # lookup re-records against the mutated module.
+            self.manager.register(
+                REVALIDATION_INDEX,
+                lambda m: revalidator.rebuild_baseline(m),
+            )
+            if revalidator.baseline is not None:
+                self.manager.seed(REVALIDATION_INDEX, revalidator.baseline)
         for mode in ("full", "trace"):
             self.manager.register(
                 classification_key(mode),
@@ -559,6 +578,7 @@ class Hippocrates:
             if fix.store.function is not None:
                 txn.touch(fix.store.function.name)
             insert_covering_flushes(fix.store, fix.flush_kind, into=fix.inserted)
+            txn.anchor(fix.store.iid, spec_for_fix(fix.store, fix.inserted))
         elif isinstance(fix, InsertFlushAndFence):
             assert fix.store is not None
             txn.track_fix(fix)
@@ -570,6 +590,7 @@ class Hippocrates:
             last_flush = fix.inserted[-1]
             last_flush.parent.insert_after(last_flush, fence)
             fix.inserted.append(fence)
+            txn.anchor(fix.store.iid, spec_for_fix(fix.store, fix.inserted))
         elif isinstance(fix, InsertFenceAfterFlush):
             assert fix.flush is not None
             txn.track_fix(fix)
@@ -579,6 +600,7 @@ class Hippocrates:
             fence.loc = fix.flush.loc
             fix.flush.parent.insert_after(fix.flush, fence)
             fix.inserted.append(fence)
+            txn.anchor(fix.flush.iid, spec_for_fix(fix.flush, fix.inserted))
         elif isinstance(fix, InsertFenceAfterStore):
             assert fix.store is not None
             txn.track_fix(fix)
@@ -588,6 +610,7 @@ class Hippocrates:
             fence.loc = fix.store.loc
             fix.store.parent.insert_after(fix.store, fence)
             fix.inserted.append(fence)
+            txn.anchor(fix.store.iid, spec_for_fix(fix.store, fix.inserted))
         else:
             raise FixError(f"cannot apply fix {fix!r}")
         return transformer
@@ -635,6 +658,10 @@ class Hippocrates:
                         self._quarantine(bug, "apply", exc)
                     continue
                 txn.commit()
+                if self.revalidator is not None:
+                    self.revalidator.note_commit(
+                        txn.anchor_iids, txn.structural, txn.insertions
+                    )
                 applied.append(fix)
                 if isinstance(fix, HoistedFix):
                     report.interprocedural_count += 1
@@ -662,6 +689,24 @@ class Hippocrates:
         with obs.span("phase.verify"):
             verify_module(self.module)
         return report
+
+    def revalidate(self):
+        """Re-check the repaired module through the incremental engine.
+
+        Consults the ``revalidation_index`` analysis first: flush/fence
+        commits preserve the recorded baseline across epochs, structural
+        commits drop it so the lookup re-records against the mutated
+        module (and the engine then reports mode ``"full"``).  Returns
+        the :class:`~repro.revalidate.engine.RevalidationOutcome`, also
+        stored as :attr:`last_revalidation`.
+        """
+        if self.revalidator is None:
+            raise FixError("no revalidator attached to this pipeline")
+        with self.obs.span("phase.revalidate"):
+            baseline = self.manager.get(REVALIDATION_INDEX)
+            outcome = self.revalidator.revalidate(self.module, baseline)
+        self.last_revalidation = outcome
+        return outcome
 
     # -- one-shot ------------------------------------------------------------------------
 

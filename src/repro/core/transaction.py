@@ -30,6 +30,7 @@ from ..ir.module import Module
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..analysis.manager import AnalysisManager
+    from ..revalidate.witness import InsertionSpec
     from .fixes import Fix
     from .subprogram import SubprogramTransformer
 
@@ -46,6 +47,13 @@ class FixTransaction:
         self.touched_functions: Set[str] = set()
         #: True once the fix did more than insert flushes/fences.
         self.structural = False
+        #: iids of the existing instructions this fix inserted
+        #: flushes/fences after — the incremental-revalidation witness.
+        self.anchor_iids: Set[int] = set()
+        #: full insertion descriptions (one per anchored fix), or None
+        #: once an insertion could not be described — incremental
+        #: revalidation then degrades from synthesis to replay.
+        self.insertions: Optional[List["InsertionSpec"]] = []
         self._undo: List[Callable[[], None]] = []
         self._done = False
 
@@ -53,6 +61,17 @@ class FixTransaction:
         """Record that the fix modified the named function's body."""
         if function_name:
             self.touched_functions.add(function_name)
+
+    def anchor(self, anchor_iid: int, spec: Optional["InsertionSpec"]) -> None:
+        """Witness a flush/fence insertion anchored at ``anchor_iid``.
+
+        ``spec`` describes exactly what was inserted; None marks the
+        insertion as present but indescribable (unknown shape)."""
+        self.anchor_iids.add(anchor_iid)
+        if spec is None:
+            self.insertions = None
+        elif self.insertions is not None:
+            self.insertions.append(spec)
 
     # -- trackers -----------------------------------------------------------
 

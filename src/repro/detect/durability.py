@@ -12,12 +12,29 @@ reports stores whose durability obligation is unmet:
 
 Redundant flushes of clean lines are reported separately as performance
 diagnostics (never fixed; paper §7).
+
+The checker is *streaming*: its per-trace mutable state lives in a
+:class:`CheckerState` that events are fed into one at a time, and which
+can be :meth:`forked <CheckerState.fork>` at any event boundary.  The
+incremental revalidation engine (:mod:`repro.revalidate`) exploits this
+to resume checking from a mid-trace point — the forked state continues
+exactly where a full pass would be, so report ids, occurrence counts,
+and orderings stay byte-identical with a from-scratch check.  Plain
+:meth:`DurabilityChecker.check` is a feed loop over one state.
+
+An optional :class:`ChainIndex` collector records, per durability chain
+(PM cache line), the instruction iids the chain depends on and the bug
+keys attributed to it — the *dependency index* consumed by incremental
+revalidation and its equivalence tests.  Collection is observational
+only: it never changes what the checker reports.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, List, Optional, Tuple
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..memory.layout import lines_covering
 from ..trace.events import (
@@ -25,12 +42,19 @@ from ..trace.events import (
     FenceEvent,
     FlushEvent,
     StoreEvent,
+    TraceEvent,
 )
 from ..trace.trace import PMTrace
 from .reports import BugKind, BugReport, DetectionResult, PerfReport
 
 #: (store event, flush event or None) pending on a line
 _Pending = Tuple[StoreEvent, Optional[FlushEvent]]
+
+#: A stable identity for one reported bug: (store iid, kind, caller
+#: path).  Unlike ``report_id`` (assigned in discovery order) this is
+#: comparable *across* detection runs, which is what the differential
+#: revalidation tests key on.
+BugKey = Tuple[int, BugKind, Tuple[int, ...]]
 
 #: A boundary policy maps a boundary event to either None (skip), the
 #: string "all" (check every pending store), or an address range
@@ -54,114 +78,239 @@ def _pmtest_policy(boundary: BoundaryEvent) -> Optional[object]:
     return (lo, lo + int(size_text))
 
 
+def bug_key(report: BugReport) -> BugKey:
+    """The run-independent identity of a report (see :data:`BugKey`)."""
+    path = tuple(frame.iid for frame in report.store.caller_frames)
+    return (report.store.iid, report.kind, path)
+
+
+class ChainIndex:
+    """The dependency index: per-chain iids and bug attribution.
+
+    A *chain* is one PM cache line's durability history — the unit the
+    checker's state machine tracks (``dirty``/``flushing`` per line).
+    For each chain the index records every instruction iid that
+    contributed an event to it (stores, flushes, fences that drained or
+    ordered it, boundaries that checked it) plus the call-path iids of
+    those events, and the :data:`BugKey`\\ s of bugs attributed to it.
+    """
+
+    def __init__(self) -> None:
+        #: line address -> iids of instructions the chain depends on
+        self.chain_iids: Dict[int, Set[int]] = {}
+        #: line address -> bug keys attributed to stores on the line
+        self.bugs_by_line: Dict[int, Set[BugKey]] = {}
+        #: total events observed (cheap cost accounting)
+        self.events_observed = 0
+
+    def observe_event(self, event: TraceEvent, line_addrs: Iterable[int]) -> None:
+        self.events_observed += 1
+        path = [frame.iid for frame in event.stack[:-1]]
+        for line_addr in line_addrs:
+            deps = self.chain_iids.setdefault(line_addr, set())
+            deps.add(event.iid)
+            deps.update(path)
+
+    def observe_bug(
+        self, key: BugKey, store: StoreEvent, line_addrs: Iterable[int]
+    ) -> None:
+        for line_addr in line_addrs:
+            self.bugs_by_line.setdefault(line_addr, set()).add(key)
+
+    # -- queries --------------------------------------------------------------
+
+    def chains(self) -> Set[int]:
+        """All chain (line) addresses with at least one observed event."""
+        return set(self.chain_iids)
+
+    def chains_depending_on(self, iids: Iterable[int]) -> Set[int]:
+        """Chains whose dependency set intersects ``iids``."""
+        wanted = set(iids)
+        return {
+            line_addr
+            for line_addr, deps in self.chain_iids.items()
+            if deps & wanted
+        }
+
+    def bug_keys_for(self, line_addr: int) -> Set[BugKey]:
+        return set(self.bugs_by_line.get(line_addr, ()))
+
+
+@dataclass
+class CheckerState:
+    """The checker's complete mutable state after some event prefix.
+
+    Forking deep-copies every mutable layer (the per-line event lists,
+    the report objects whose ``occurrences`` mutate on re-attribution),
+    so feeding events into a fork never disturbs the original — the
+    invariant the incremental engine's memoized forks rely on.
+    """
+
+    dirty: Dict[int, List[StoreEvent]] = field(default_factory=dict)
+    flushing: Dict[int, List[_Pending]] = field(default_factory=dict)
+    fence_seqs: List[int] = field(default_factory=list)
+    reports: Dict[BugKey, BugReport] = field(default_factory=dict)
+    attributed_seqs: Set[int] = field(default_factory=set)
+    perf: Dict[int, PerfReport] = field(default_factory=dict)
+
+    def fork(self) -> "CheckerState":
+        return CheckerState(
+            dirty={line: list(stores) for line, stores in self.dirty.items()},
+            flushing={line: list(pairs) for line, pairs in self.flushing.items()},
+            fence_seqs=list(self.fence_seqs),
+            reports={key: copy.copy(bug) for key, bug in self.reports.items()},
+            attributed_seqs=set(self.attributed_seqs),
+            perf={iid: copy.copy(note) for iid, note in self.perf.items()},
+        )
+
+
 class DurabilityChecker:
     """Offline trace analysis (the detector half of Fig. 2's pipeline)."""
 
-    def __init__(self, boundary_policy: BoundaryPolicy = _pmemcheck_policy):
+    def __init__(
+        self,
+        boundary_policy: BoundaryPolicy = _pmemcheck_policy,
+        collector: Optional[ChainIndex] = None,
+    ):
         self.boundary_policy = boundary_policy
+        self.collector = collector
 
-    def check(self, trace: PMTrace) -> DetectionResult:
-        dirty: Dict[int, List[StoreEvent]] = {}
-        flushing: Dict[int, List[_Pending]] = {}
-        fence_seqs: List[int] = []
-        result = DetectionResult()
+    # -- streaming API --------------------------------------------------------
+
+    def new_state(self) -> CheckerState:
+        return CheckerState()
+
+    def feed(self, state: CheckerState, event: TraceEvent) -> None:
+        """Advance ``state`` by one trace event."""
+        dirty, flushing = state.dirty, state.flushing
+        collector = self.collector
+        if isinstance(event, StoreEvent):
+            if event.space != "pm":
+                return
+            lines = lines_covering(event.addr, event.size)
+            for line_addr in lines:
+                if event.nontemporal:
+                    # MOVNT: already write-combining-queued; it
+                    # needs no flush, only an ordering fence.
+                    flushing.setdefault(line_addr, []).append((event, None))
+                else:
+                    dirty.setdefault(line_addr, []).append(event)
+            if collector is not None:
+                collector.observe_event(event, lines)
+        elif isinstance(event, FlushEvent):
+            line_addr = event.line_addr
+            if not event.had_work:
+                note = state.perf.get(event.iid)
+                if note is None:
+                    state.perf[event.iid] = PerfReport(event)
+                else:
+                    note.occurrences += 1
+            pending = dirty.pop(line_addr, [])
+            if event.flush_kind == "clflush":
+                # Strongly ordered: line durable immediately.
+                flushing.pop(line_addr, None)
+            else:
+                if pending:
+                    flushing.setdefault(line_addr, []).extend(
+                        (store, event) for store in pending
+                    )
+            if collector is not None:
+                collector.observe_event(event, (line_addr,))
+        elif isinstance(event, FenceEvent):
+            if collector is not None:
+                # A fence drains the queued lines and, by existing at
+                # all, decides the flush-vs-flush&fence classification
+                # of every dirty store — both depend on it.
+                collector.observe_event(
+                    event, list(flushing.keys()) + list(dirty.keys())
+                )
+            state.fence_seqs.append(event.seq)
+            flushing.clear()
+        elif isinstance(event, BoundaryEvent):
+            scope = self.boundary_policy(event)
+            if scope is None:
+                return
+            if collector is not None:
+                collector.observe_event(
+                    event, list(dirty.keys()) + list(flushing.keys())
+                )
+
+            def in_scope(store: StoreEvent) -> bool:
+                if scope == "all":
+                    return True
+                lo, hi = scope  # type: ignore[misc]
+                return store.addr < hi and store.addr + store.size > lo
+
+            for stores in dirty.values():
+                for store in stores:
+                    if not in_scope(store):
+                        continue
+                    fence_after = (
+                        bisect.bisect_right(state.fence_seqs, store.seq)
+                        < len(state.fence_seqs)
+                    )
+                    kind = (
+                        BugKind.MISSING_FLUSH
+                        if fence_after
+                        else BugKind.MISSING_FLUSH_FENCE
+                    )
+                    self._report(state, kind, store, event, None)
+            for pairs in flushing.values():
+                for store, flush in pairs:
+                    if in_scope(store):
+                        self._report(
+                            state, BugKind.MISSING_FENCE, store, event, flush
+                        )
+
+    def _report(
+        self,
+        state: CheckerState,
+        kind: BugKind,
+        store: StoreEvent,
+        boundary: BoundaryEvent,
+        flush: Optional[FlushEvent],
+    ) -> None:
+        if store.seq in state.attributed_seqs:
+            return
+        state.attributed_seqs.add(store.seq)
         # One report per (store instruction, bug kind, *call path*).
         # The call path matters: the same store inside a shared helper
         # like memcpy reached through different call sites is a
         # distinct bug with a distinct (hoisted) fix location.
-        reports: Dict[Tuple[int, BugKind, Tuple[int, ...]], BugReport] = {}
-        attributed_seqs: set = set()
-        perf: Dict[int, PerfReport] = {}
+        path = tuple(frame.iid for frame in store.caller_frames)
+        key = (store.iid, kind, path)
+        existing = state.reports.get(key)
+        if existing is None:
+            state.reports[key] = BugReport(
+                kind=kind,
+                store=store,
+                boundary=boundary,
+                flush=flush,
+                report_id=len(state.reports) + 1,
+            )
+        else:
+            existing.occurrences += 1
+        if self.collector is not None:
+            self.collector.observe_bug(
+                key, store, lines_covering(store.addr, store.size)
+            )
 
-        def report(
-            kind: BugKind,
-            store: StoreEvent,
-            boundary: BoundaryEvent,
-            flush: Optional[FlushEvent],
-        ) -> None:
-            if store.seq in attributed_seqs:
-                return
-            attributed_seqs.add(store.seq)
-            path = tuple(frame.iid for frame in store.caller_frames)
-            key = (store.iid, kind, path)
-            existing = reports.get(key)
-            if existing is None:
-                reports[key] = BugReport(
-                    kind=kind,
-                    store=store,
-                    boundary=boundary,
-                    flush=flush,
-                    report_id=len(reports) + 1,
-                )
-            else:
-                existing.occurrences += 1
-
-        for event in trace:
-            if isinstance(event, StoreEvent):
-                if event.space != "pm":
-                    continue
-                for line_addr in lines_covering(event.addr, event.size):
-                    if event.nontemporal:
-                        # MOVNT: already write-combining-queued; it
-                        # needs no flush, only an ordering fence.
-                        flushing.setdefault(line_addr, []).append((event, None))
-                    else:
-                        dirty.setdefault(line_addr, []).append(event)
-            elif isinstance(event, FlushEvent):
-                line_addr = event.line_addr
-                if not event.had_work:
-                    note = perf.get(event.iid)
-                    if note is None:
-                        perf[event.iid] = PerfReport(event)
-                    else:
-                        note.occurrences += 1
-                pending = dirty.pop(line_addr, [])
-                if event.flush_kind == "clflush":
-                    # Strongly ordered: line durable immediately.
-                    flushing.pop(line_addr, None)
-                else:
-                    if pending:
-                        flushing.setdefault(line_addr, []).extend(
-                            (store, event) for store in pending
-                        )
-            elif isinstance(event, FenceEvent):
-                fence_seqs.append(event.seq)
-                flushing.clear()
-            elif isinstance(event, BoundaryEvent):
-                scope = self.boundary_policy(event)
-                if scope is None:
-                    continue
-
-                def in_scope(store: StoreEvent) -> bool:
-                    if scope == "all":
-                        return True
-                    lo, hi = scope  # type: ignore[misc]
-                    return store.addr < hi and store.addr + store.size > lo
-
-                for stores in dirty.values():
-                    for store in stores:
-                        if not in_scope(store):
-                            continue
-                        fence_after = (
-                            bisect.bisect_right(fence_seqs, store.seq)
-                            < len(fence_seqs)
-                        )
-                        kind = (
-                            BugKind.MISSING_FLUSH
-                            if fence_after
-                            else BugKind.MISSING_FLUSH_FENCE
-                        )
-                        report(kind, store, event, None)
-                for pairs in flushing.values():
-                    for store, flush in pairs:
-                        if in_scope(store):
-                            report(BugKind.MISSING_FENCE, store, event, flush)
-
+    def finalize(self, state: CheckerState) -> DetectionResult:
+        """Package a state's accumulated findings (state is unchanged)."""
+        result = DetectionResult()
         result.bugs = sorted(
-            reports.values(), key=lambda b: (b.store.seq, b.kind.value)
+            state.reports.values(), key=lambda b: (b.store.seq, b.kind.value)
         )
-        result.perf = sorted(perf.values(), key=lambda p: p.flush.seq)
+        result.perf = sorted(state.perf.values(), key=lambda p: p.flush.seq)
         return result
+
+    # -- one-shot API ---------------------------------------------------------
+
+    def check(self, trace: PMTrace) -> DetectionResult:
+        state = self.new_state()
+        for event in trace:
+            self.feed(state, event)
+        return self.finalize(state)
 
 
 def check_trace(trace: PMTrace) -> DetectionResult:
@@ -172,3 +321,12 @@ def check_trace(trace: PMTrace) -> DetectionResult:
 def check_trace_pmtest(trace: PMTrace) -> DetectionResult:
     """Run the PMTest-style assertion checker over a trace."""
     return DurabilityChecker(_pmtest_policy).check(trace)
+
+
+def check_trace_with_dependencies(
+    trace: PMTrace, boundary_policy: BoundaryPolicy = _pmemcheck_policy
+) -> Tuple[DetectionResult, ChainIndex]:
+    """Check a trace while collecting the chain dependency index."""
+    index = ChainIndex()
+    checker = DurabilityChecker(boundary_policy, collector=index)
+    return checker.check(trace), index

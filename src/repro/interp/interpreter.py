@@ -181,6 +181,7 @@ class Interpreter:
         fuel: int = 50_000_000,
         record_volatile_stores: bool = False,
         metrics=None,
+        run_recorder=None,
     ):
         self.module = module
         self.machine = machine or Machine(record_volatile_stores)
@@ -196,6 +197,16 @@ class Interpreter:
         #: flush/fence/store totals are folded in once, at :meth:`finish`
         #: — nothing touches the registry on the hot execution path.
         self.metrics = metrics
+        #: optional :class:`~repro.revalidate.recording.RunRecorder`:
+        #: notified at top-level call boundaries so incremental
+        #: revalidation can memoize machine snapshots and per-segment
+        #: executed-iid sets.  None (the default) keeps plain runs on
+        #: the unrecorded path — one pointer compare per call plus one
+        #: ``is None`` test per step.
+        self._run_recorder = run_recorder
+        #: the current segment's executed-iid set (owned by the run
+        #: recorder; None when not recording)
+        self._seg_iids = None
 
     # -- stack capture -----------------------------------------------------------------
 
@@ -239,16 +250,23 @@ class Interpreter:
             raise InterpreterError(
                 f"@{fn_name} expects {len(fn.args)} args, got {len(args)}"
             )
+        recorder = self._run_recorder
+        top_level = not self.frames
+        if recorder is not None and top_level:
+            recorder.begin_call(self, fn_name, args)
         start_steps = self.steps
         start_cycles = self.costs.cycles
         start_output = len(self.output)
         value = self._run(fn, args)
-        return ExecutionResult(
+        result = ExecutionResult(
             value=value,
             steps=self.steps - start_steps,
             cycles=self.costs.cycles - start_cycles,
             output=self.output[start_output:],
         )
+        if recorder is not None and top_level:
+            recorder.end_call(self, result)
+        return result
 
     def finish(self) -> PMTrace:
         """Mark process exit; records the final durability boundary."""
@@ -288,6 +306,7 @@ class Interpreter:
         base_depth = len(self.frames)
         self._push_frame(fn, args)
         model = self.costs.model
+        seg_iids = self._seg_iids
         return_value = 0
 
         while len(self.frames) > base_depth:
@@ -302,6 +321,8 @@ class Interpreter:
             self.steps += 1
             if self.steps > self.fuel:
                 raise FuelExhausted(f"exceeded fuel of {self.fuel} instructions")
+            if seg_iids is not None:
+                seg_iids.add(instr.iid)
 
             if isinstance(instr, Store):
                 self._exec_store(instr, frame, model)
@@ -417,6 +438,8 @@ class Interpreter:
             # (re-)dirtied line is a full write-back.  This is the waste
             # RedisH-intra suffers from.
             machine.volatile_flushes += 1
+            if machine.recorder.record_vol_ops:
+                machine.recorder.note_vol_flush()
             self.costs.charge("flush", model.flush)
 
     def _exec_binop(self, instr: BinOp, frame: Frame, model: CostModel) -> None:

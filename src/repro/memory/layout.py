@@ -55,6 +55,7 @@ class Region:
         self.size = size
         self.data = bytearray(size)
         self._brk = 0
+        self._high_water = 0
 
     @property
     def end(self) -> int:
@@ -72,6 +73,8 @@ class Region:
             raise MemoryError_(f"region {self.name!r} exhausted")
         addr = self.base + self._brk
         self._brk += size
+        if self._brk > self._high_water:
+            self._high_water = self._brk
         return addr
 
     @property
@@ -84,6 +87,21 @@ class Region:
         if brk < 0 or brk > self.size:
             raise MemoryError_(f"bad brk {brk} for region {self.name!r}")
         self._brk = brk
+
+    @property
+    def high_water(self) -> int:
+        """Highest offset ever allocated or written.
+
+        Bytes at or beyond this offset are zero by construction, which
+        is what lets a machine snapshot copy only the live prefix of a
+        region instead of all 16 MiB.
+        """
+        return self._high_water
+
+    def note_high_water(self, offset: int) -> None:
+        """Raise the high-water mark (snapshot restore)."""
+        if offset > self._high_water:
+            self._high_water = offset
 
     # -- raw byte access --------------------------------------------------------
 
@@ -101,7 +119,10 @@ class Region:
                 f"write of {len(payload)}B at {addr:#x} outside region {self.name!r}"
             )
         offset = addr - self.base
-        self.data[offset : offset + len(payload)] = payload
+        end = offset + len(payload)
+        self.data[offset:end] = payload
+        if end > self._high_water:
+            self._high_water = end
 
 
 class AddressSpace:

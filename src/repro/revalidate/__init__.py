@@ -1,0 +1,59 @@
+"""Incremental revalidation: re-check repaired modules without
+re-executing the whole workload.
+
+Post-fix revalidation used to re-run the entire workload through the
+interpreter — measured at ~90% of per-task time together with the
+initial detection (EXPERIMENTS E11).  This package removes that cost
+for the common case:
+
+- :mod:`snapshot` — deep-copied machine state memoized at top-level
+  call boundaries of the recording run.
+- :mod:`recording` — the :class:`~repro.revalidate.recording.RunRecorder`
+  the interpreter notifies at call boundaries; owns the segments, their
+  executed-iid sets, and snapshot thinning.
+- :mod:`replay` — a :class:`~repro.revalidate.replay.ReplayInterpreter`
+  that resumes a driver from a materialized snapshot, skipping the
+  already-executed calls.
+- :mod:`witness` — the mutation witness: plain-data
+  :class:`~repro.revalidate.witness.InsertionSpec` descriptions of what
+  each committed flush/fence fix inserted, built by the fix pipeline.
+- :mod:`synthesize` — builds the post-fix trace *without executing
+  anything*: inserted flushes/fences change no control flow and no
+  data, so their events splice deterministically into the baseline
+  trace (``had_work`` bits recomputed by a cache-line simulation).
+- :mod:`engine` — the
+  :class:`~repro.revalidate.engine.IncrementalRevalidator` tying it to
+  the fix pipeline.  Tiering per revalidation: unchanged module →
+  baseline verdict; complete witness → trace synthesis (no execution);
+  witness without insertion specs → snapshot replay from the last
+  unaffected point; structural fixes or any failure → full re-record.
+
+The engine's contract is *byte-identity*: detection results, canonical
+reports, and do-no-harm verdicts are identical with the engine on or
+off (enforced by ``tests/test_revalidate_differential.py`` and the
+property suite).
+"""
+
+from .engine import IncrementalRevalidator, RevalidationOutcome
+from .recording import RecordedRun, RunRecorder, VolAnchorOp
+from .replay import ReplayDivergence, ReplayInterpreter
+from .snapshot import MachineSnapshot
+from .synthesize import SynthesisResult, synthesize_fixed_trace
+from .witness import InsertionSpec, SynthFence, SynthFlush, spec_for_fix
+
+__all__ = [
+    "IncrementalRevalidator",
+    "InsertionSpec",
+    "MachineSnapshot",
+    "RecordedRun",
+    "ReplayDivergence",
+    "ReplayInterpreter",
+    "RevalidationOutcome",
+    "RunRecorder",
+    "SynthFence",
+    "SynthFlush",
+    "SynthesisResult",
+    "VolAnchorOp",
+    "spec_for_fix",
+    "synthesize_fixed_trace",
+]

@@ -1,0 +1,446 @@
+"""The incremental revalidation engine.
+
+Post-fix revalidation re-runs the workload and re-checks the trace.
+This engine makes the common case — flush/fence-only fixes, which is
+what Hippocrates inserts for every intraprocedural repair — incremental:
+
+1. **Record** (:meth:`IncrementalRevalidator.record`): the initial
+   detection run executes under a
+   :class:`~repro.revalidate.recording.RunRecorder`, memoizing machine
+   snapshots and executed-iid sets per top-level call, and the checker
+   pass builds the chain dependency index plus
+   :class:`~repro.detect.durability.CheckerState` forks at every
+   snapshot boundary.
+2. **Witness** (:meth:`note_commit`): after each committed fix, the
+   :class:`~repro.core.transaction.FixTransaction` reports the *anchor*
+   iids — the existing instructions the fix inserted flushes/fences
+   after — and whether the fix was structural.  Anchors accumulate
+   across fix rounds against the same recording.
+3. **Revalidate** (:meth:`revalidate`): flush/fence insertions change
+   no control flow and no data, so the fixed module's trace is a pure
+   function of the baseline trace.  With a complete witness
+   (:class:`~repro.revalidate.witness.InsertionSpec` per fix) the
+   engine *synthesizes* that trace — no execution at all — and
+   re-checks from the last memoized checker fork before the first
+   changed event.  With only anchor iids (no insertion specs) it
+   *replays* the interpreter from the last snapshot at or before the
+   first anchor-affected segment and feeds the replayed suffix through
+   the forked checker state.  Either way report ids, occurrence
+   counts, and orderings continue exactly as a full pass would —
+   byte-identical results.
+
+Fallback rules (all full re-records, counted in
+``revalidate.fallbacks``):
+
+- a structural fix committed (clone/retarget: execution may diverge
+  anywhere) — also enforced by the analysis manager dropping the
+  ``revalidation_index`` entry on structural commits;
+- an anchor iid is not in the recorded module (the fix anchors at an
+  instruction inserted *after* recording, e.g. a round-2 fix anchored
+  on a round-1 flush);
+- the module changed but no anchors were witnessed;
+- the driver diverges during replay, or replay raises at all.
+
+If the module fingerprint is unchanged — or every anchor sits in dead
+code the recording never executed — the baseline detection is returned
+as-is (``revalidate.noop_hits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set, Tuple
+
+from ..detect import Driver
+from ..detect.durability import ChainIndex, DurabilityChecker
+from ..detect.reports import DetectionResult
+from ..interp.costs import CostModel
+from ..interp.interpreter import Interpreter, Machine
+from ..ir.module import Module
+from ..trace.trace import PMTrace
+from .recording import RecordedRun, RecordingTraceRecorder, RunRecorder
+from .replay import ReplayDivergence, ReplayInterpreter
+from .synthesize import synthesize_fixed_trace
+from .witness import InsertionSpec
+
+
+@dataclass
+class RevalidationOutcome:
+    """One revalidation's result plus how it was obtained.
+
+    ``mode`` is volatile diagnostics (tests assert on it; reports must
+    not journal it):
+
+    - ``"baseline"`` — module unchanged (or only dead code changed);
+      the recorded detection was returned without any execution.
+    - ``"synthesized"`` — the post-fix trace was synthesized from the
+      baseline trace and the mutation witness (no execution at all);
+      only the suffix from the last memoized checker fork re-checked.
+    - ``"incremental"`` — replayed from a snapshot, suffix re-checked.
+    - ``"full"`` — fell back to (or started with) a full re-record.
+    """
+
+    mode: str
+    detection: DetectionResult
+    trace: PMTrace
+    #: segment index replay started from (incremental mode)
+    replayed_from: Optional[int] = None
+    segments_total: int = 0
+    segments_replayed: int = 0
+    #: chain (cache line) addresses the incremental pass re-checked
+    rechecked_chains: Set[int] = field(default_factory=set)
+    #: why a fallback was taken (diagnostics)
+    fallback_reason: str = ""
+
+    @property
+    def chains_rechecked(self) -> int:
+        return len(self.rechecked_chains)
+
+    def as_stats(self) -> dict:
+        """Volatile summary (never part of canonical records)."""
+        return {
+            "mode": self.mode,
+            "replayed_from": self.replayed_from,
+            "segments_total": self.segments_total,
+            "segments_replayed": self.segments_replayed,
+            "chains_rechecked": self.chains_rechecked,
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+class IncrementalRevalidator:
+    """Records one workload execution and revalidates fixes against it.
+
+    :param driver: the workload driver (same contract as
+        :func:`~repro.detect.pmemcheck_run`).
+    :param cost_model:, :param fuel: interpreter configuration, applied
+        identically to recording, replay, and fallback runs.
+    :param max_snapshots: snapshot memory bound (see
+        :class:`~repro.revalidate.recording.RunRecorder`).
+    :param metrics: optional
+        :class:`~repro.obs.metrics.MetricsRegistry`; receives the
+        ``revalidate.*`` counters and the interpreters' totals.
+    """
+
+    def __init__(
+        self,
+        driver: Driver,
+        *,
+        cost_model: Optional[CostModel] = None,
+        fuel: int = 50_000_000,
+        max_snapshots: int = 32,
+        metrics=None,
+    ):
+        self.driver = driver
+        self.cost_model = cost_model
+        self.fuel = fuel
+        self.max_snapshots = max_snapshots
+        self.metrics = metrics
+        self.baseline: Optional[RecordedRun] = None
+        self.last_outcome: Optional[RevalidationOutcome] = None
+        #: anchor iids committed since the current recording
+        self._pending_anchors: Set[int] = set()
+        self._pending_structural = False
+        #: insertion specs for every committed fix, in commit order;
+        #: None once any commit lacked one (synthesis then ineligible,
+        #: snapshot replay still available)
+        self._pending_specs: Optional[list] = []
+        #: set when the analysis manager recomputed the baseline via
+        #: :meth:`rebuild_baseline` (a full re-record); the next
+        #: revalidation reports mode ``"full"`` even though the fresh
+        #: baseline's fingerprint now matches the module.
+        self._manager_rebuild = False
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self, module: Module
+    ) -> Tuple[DetectionResult, PMTrace, Interpreter]:
+        """Execute the workload under recording; install the baseline.
+
+        Drop-in replacement for the detection-phase
+        :func:`~repro.detect.pmemcheck_run` — same return triple, same
+        detection semantics — plus the side effect of memoizing the
+        recording this engine revalidates against.
+        """
+        if self.baseline is not None:
+            # Re-recording *is* the full-revalidation fallback path.
+            self._count("revalidate.fallbacks")
+        self._count("revalidate.records")
+        recorder = RunRecorder(max_snapshots=self.max_snapshots)
+        # A recording machine keeps the volatile-op side channel (for
+        # trace synthesis); its trace stays byte-identical to a plain
+        # machine's.
+        machine = Machine()
+        trace_recorder = RecordingTraceRecorder(
+            lambda: machine._stack_provider()
+        )
+        machine.recorder = trace_recorder
+        interp = Interpreter(
+            module,
+            machine=machine,
+            cost_model=self.cost_model,
+            fuel=self.fuel,
+            metrics=self.metrics,
+            run_recorder=recorder,
+        )
+        trace_recorder.current_iid = interp.current_iid
+        self.driver(interp)
+        trace = interp.finish()
+
+        # One checker pass over the full trace, forking the state at
+        # every snapshot-bearing segment boundary and collecting the
+        # chain dependency index.
+        chain_index = ChainIndex()
+        checker = DurabilityChecker(collector=chain_index)
+        state = checker.new_state()
+        forks = {}
+        position = 0
+        events = trace.events
+        for segment in recorder.segments:
+            if segment.snapshot is None:
+                continue
+            while position < segment.trace_start:
+                checker.feed(state, events[position])
+                position += 1
+            forks[segment.index] = state.fork()
+        while position < len(events):
+            checker.feed(state, events[position])
+            position += 1
+        detection = checker.finalize(state)
+
+        self.baseline = RecordedRun(
+            module_fingerprint=module.fingerprint(),
+            module_iids=frozenset(
+                instr.iid for instr in module.instructions()
+            ),
+            segments=recorder.segments,
+            trace=trace,
+            detection=detection,
+            chain_index=chain_index,
+            forks=forks,
+            fuel=self.fuel,
+            vol_ops=tuple(trace_recorder.vol_ops),
+        )
+        self._pending_anchors.clear()
+        self._pending_structural = False
+        self._pending_specs = []
+        return detection, trace, interp
+
+    def rebuild_baseline(self, module: Module) -> RecordedRun:
+        """Re-record and return the fresh baseline (the analysis
+        manager's compute hook for the ``revalidation_index`` key)."""
+        self.record(module)
+        self._manager_rebuild = True
+        assert self.baseline is not None
+        return self.baseline
+
+    # -- the mutation witness -------------------------------------------------
+
+    def note_commit(
+        self,
+        anchor_iids: Iterable[int],
+        structural: bool,
+        insertions: Optional[Iterable[InsertionSpec]] = None,
+    ) -> None:
+        """A fix transaction committed against the module.
+
+        ``insertions`` carries the full mutation witness (what was
+        inserted after each anchor); without it the synthesis tier is
+        unavailable and revalidation uses snapshot replay instead.
+        """
+        self._pending_anchors.update(anchor_iids)
+        if structural:
+            self._pending_structural = True
+        if insertions is None:
+            self._pending_specs = None
+        elif self._pending_specs is not None:
+            self._pending_specs.extend(insertions)
+
+    # -- revalidation ---------------------------------------------------------
+
+    def revalidate(
+        self, module: Module, baseline: Optional[RecordedRun] = None
+    ) -> RevalidationOutcome:
+        """Detect against the (fixed) module, incrementally if possible."""
+        base = baseline if baseline is not None else self.baseline
+        if base is not None and base is not self.baseline:
+            # The analysis manager recomputed the baseline (structural
+            # invalidation); adopt it.  record() already cleared the
+            # witness state when it built this baseline.
+            self.baseline = base
+        rebuilt = self._manager_rebuild
+        self._manager_rebuild = False
+        if base is None:
+            outcome = self._full(module, "no recording to revalidate against")
+        elif self._pending_structural:
+            outcome = self._full(module, "structural fix committed")
+        elif module.fingerprint() == base.module_fingerprint:
+            if rebuilt:
+                # The analysis manager just re-recorded (structural
+                # invalidation cascaded to the revalidation index), so
+                # this *is* a full revalidation — the fresh recording's
+                # detection is the post-fix verdict.
+                outcome = RevalidationOutcome(
+                    mode="full",
+                    detection=base.detection,
+                    trace=base.trace,
+                    segments_total=len(base.segments),
+                    fallback_reason="baseline re-recorded after invalidation",
+                )
+            else:
+                self._count("revalidate.noop_hits")
+                outcome = RevalidationOutcome(
+                    mode="baseline",
+                    detection=base.detection,
+                    trace=base.trace,
+                    segments_total=len(base.segments),
+                )
+        elif not self._pending_anchors:
+            outcome = self._full(
+                module, "module changed without a mutation witness"
+            )
+        elif not self._pending_anchors <= base.module_iids:
+            outcome = self._full(
+                module, "fix anchored at an instruction inserted after recording"
+            )
+        else:
+            first = base.first_affected_segment(self._pending_anchors)
+            if first is None:
+                # Every anchor sits in code the recording never
+                # executed, so the inserted instructions never execute
+                # either: the trace — and the verdict — are unchanged.
+                self._count("revalidate.noop_hits")
+                outcome = RevalidationOutcome(
+                    mode="baseline",
+                    detection=base.detection,
+                    trace=base.trace,
+                    segments_total=len(base.segments),
+                )
+            else:
+                try:
+                    if self._pending_specs is not None:
+                        outcome = self._synthesize(module, base)
+                    else:
+                        outcome = self._incremental(module, base, first)
+                except Exception as exc:
+                    outcome = self._full(
+                        module,
+                        f"incremental revalidation failed: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+        self.last_outcome = outcome
+        return outcome
+
+    def _full(self, module: Module, reason: str) -> RevalidationOutcome:
+        detection, trace, _ = self.record(module)
+        return RevalidationOutcome(
+            mode="full",
+            detection=detection,
+            trace=trace,
+            segments_total=len(self.baseline.segments) if self.baseline else 0,
+            fallback_reason=reason,
+        )
+
+    def _synthesize(
+        self, module: Module, base: RecordedRun
+    ) -> RevalidationOutcome:
+        """The fast tier: no execution at all.
+
+        The mutation witness is complete (every committed fix described
+        its inserted flush/gep/fence run), so the post-fix trace is
+        synthesized directly from the baseline trace and the volatile-op
+        side channel, and the checker resumes from the last memoized
+        fork before the first changed event.
+        """
+        assert self._pending_specs is not None
+        synthesis = synthesize_fixed_trace(
+            base.trace, base.vol_ops, self._pending_specs
+        )
+        trace = synthesis.trace
+
+        # Resume checking from the last fork at or before the first
+        # changed position (every earlier event is the identical
+        # baseline object the fork already consumed).
+        start = base.segments[0]
+        for segment in base.segments:
+            if (
+                segment.index in base.forks
+                and segment.trace_start <= synthesis.changed_from
+            ):
+                start = segment
+        state = base.forks[start.index].fork()
+        rechecked = ChainIndex()
+        checker = DurabilityChecker(collector=rechecked)
+        for event in trace.events[start.trace_start :]:
+            checker.feed(state, event)
+        detection = checker.finalize(state)
+
+        self._count("revalidate.incremental_hits")
+        self._count("revalidate.synth_hits")
+        self._count(
+            "revalidate.chains_rechecked", len(synthesis.affected_lines)
+        )
+        return RevalidationOutcome(
+            mode="synthesized",
+            detection=detection,
+            trace=trace,
+            replayed_from=start.index,
+            segments_total=len(base.segments),
+            segments_replayed=0,
+            rechecked_chains=synthesis.affected_lines,
+        )
+
+    def _incremental(
+        self, module: Module, base: RecordedRun, first_affected: int
+    ) -> RevalidationOutcome:
+        start = base.replay_base(first_affected)
+        snapshot = start.snapshot
+        assert snapshot is not None
+        machine = snapshot.materialize()
+        replay = ReplayInterpreter(
+            module,
+            machine,
+            snapshot,
+            skip=base.segments[: start.index],
+            cost_model=self.cost_model,
+            fuel=base.fuel,
+            metrics=self.metrics,
+        )
+        self.driver(replay)
+        suffix = replay.finish()
+        if replay.skipped_remaining:
+            raise ReplayDivergence(
+                f"driver made fewer calls than recorded "
+                f"({replay.skipped_remaining} skip(s) unconsumed)"
+            )
+
+        combined = PMTrace(
+            list(base.trace.events[: start.trace_start]) + list(suffix.events)
+        )
+        rechecked = ChainIndex()
+        checker = DurabilityChecker(collector=rechecked)
+        state = base.forks[start.index].fork()
+        for event in suffix.events:
+            checker.feed(state, event)
+        detection = checker.finalize(state)
+
+        chains = rechecked.chains()
+        self._count("revalidate.incremental_hits")
+        self._count("revalidate.chains_rechecked", len(chains))
+        self._count(
+            "revalidate.segments_replayed", len(base.segments) - start.index
+        )
+        return RevalidationOutcome(
+            mode="incremental",
+            detection=detection,
+            trace=combined,
+            replayed_from=start.index,
+            segments_total=len(base.segments),
+            segments_replayed=len(base.segments) - start.index,
+            rechecked_chains=chains,
+        )

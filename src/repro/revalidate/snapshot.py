@@ -1,0 +1,182 @@
+"""Memoized machine state: capture at a call boundary, replay later.
+
+A :class:`MachineSnapshot` is taken between top-level driver calls,
+when the interpreter's frame stack is empty — so the *only* state that
+matters is the machine's: region bytes, allocator watermarks, the
+durable PM image, per-line cache durability state, the allocation
+registry, and the trace recorder's sequence counter.
+
+Two properties make snapshots cheap and safe:
+
+- **Prefix copies.** Region bytes are copied only up to the region's
+  high-water mark (every byte beyond it is zero by construction —
+  :class:`~repro.memory.layout.Region` tracks the mark on every
+  allocate and write), so a snapshot costs kilobytes, not 3×16 MiB.
+- **Deep copies both ways.** Capture copies every mutable layer out of
+  the live machine, and :meth:`materialize` builds fresh containers
+  from the snapshot — in particular the cache's per-line
+  ``dirty_stores``/``flushing_stores`` sets, which the fence handler
+  mutates in place.  A second replay from the same snapshot is
+  therefore unaffected by the first (the latent aliasing hazard this
+  module exists to prevent; see ``tests/test_revalidate_snapshot.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.interpreter import Allocation, Interpreter, Machine
+from ..memory.cache import CacheModel, LineState
+from ..memory.layout import AddressSpace, Region
+from ..memory.persistence import PersistentImage
+from ..trace.trace import TraceRecorder
+
+#: (brk, high_water, live bytes up to high_water) for one region
+_RegionState = Tuple[int, int, bytes]
+
+#: (line address, dirty store seqs, flushing store seqs)
+_LineSnapshot = Tuple[int, frozenset, frozenset]
+
+
+def _capture_region(region: Region) -> _RegionState:
+    high = region.high_water
+    return (region.brk, high, bytes(region.data[:high]))
+
+
+def _restore_region(region: Region, state: _RegionState) -> None:
+    brk, high, data = state
+    region.data[: len(data)] = data
+    region.set_brk(brk)
+    region.note_high_water(high)
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Frozen machine state at one top-level call boundary."""
+
+    vol: _RegionState
+    stack: _RegionState
+    pm: _RegionState
+    pm_size: int
+    vol_size: int
+    stack_size: int
+    #: durable image bytes up to the PM high-water mark
+    durable: bytes
+    writebacks: int
+    #: per-line durability state, in cache-dict insertion order (the
+    #: fence handler iterates the dict, so order is semantics)
+    lines: Tuple[_LineSnapshot, ...]
+    flush_count: int
+    clean_flush_count: int
+    fence_count: int
+    allocations: Tuple[Allocation, ...]
+    global_addrs: Tuple[Tuple[str, int], ...]
+    pm_root_addr: Optional[int]
+    pm_root_size: int
+    volatile_flushes: int
+    record_volatile_stores: bool
+    #: the trace recorder's sequence counter (replay events continue it)
+    seq: int
+    #: interpreter steps consumed so far (replay fuel accounting)
+    steps: int
+    #: observable output so far (``emit`` values)
+    output: Tuple[int, ...]
+
+    @classmethod
+    def capture(cls, interp: Interpreter) -> "MachineSnapshot":
+        if interp.frames:
+            raise ValueError(
+                "machine snapshots are only valid at top-level call "
+                "boundaries (the frame stack must be empty)"
+            )
+        machine = interp.machine
+        space = machine.space
+        return cls(
+            vol=_capture_region(space.vol),
+            stack=_capture_region(space.stack),
+            pm=_capture_region(space.pm),
+            pm_size=space.pm.size,
+            vol_size=space.vol.size,
+            stack_size=space.stack.size,
+            durable=machine.image.durable_bytes(
+                space.pm.base, space.pm.high_water
+            ),
+            writebacks=machine.image.writebacks,
+            lines=tuple(
+                (
+                    line_addr,
+                    frozenset(state.dirty_stores),
+                    frozenset(state.flushing_stores),
+                )
+                for line_addr, state in machine.cache.lines.items()
+            ),
+            flush_count=machine.cache.flush_count,
+            clean_flush_count=machine.cache.clean_flush_count,
+            fence_count=machine.cache.fence_count,
+            allocations=tuple(machine.allocations),
+            global_addrs=tuple(machine.global_addrs.items()),
+            pm_root_addr=machine.pm_root_addr,
+            pm_root_size=machine.pm_root_size,
+            volatile_flushes=machine.volatile_flushes,
+            record_volatile_stores=machine.recorder.record_volatile_stores,
+            seq=machine.recorder._seq,
+            steps=interp.steps,
+            output=tuple(interp.output),
+        )
+
+    def materialize(self) -> Machine:
+        """Build an independent machine in this snapshot's state.
+
+        Every mutable container is freshly constructed, so concurrent
+        or repeated replays from one snapshot never alias state.
+        """
+        space = AddressSpace(
+            vol_size=self.vol_size,
+            stack_size=self.stack_size,
+            pm_size=self.pm_size,
+        )
+        _restore_region(space.vol, self.vol)
+        _restore_region(space.stack, self.stack)
+        _restore_region(space.pm, self.pm)
+        # PersistentImage seeds its durable view from the cache view;
+        # overwrite the live prefix with the recorded durable bytes
+        # (beyond the high-water mark both views are all zeroes).
+        image = PersistentImage(space)
+        image._durable[: len(self.durable)] = self.durable
+        image.writebacks = self.writebacks
+        cache = CacheModel(space, image)
+        for line_addr, dirty, flushing in self.lines:
+            cache.lines[line_addr] = LineState(
+                dirty_stores=set(dirty), flushing_stores=set(flushing)
+            )
+        cache.flush_count = self.flush_count
+        cache.clean_flush_count = self.clean_flush_count
+        cache.fence_count = self.fence_count
+        # Assemble the machine without Machine.__init__ (which would
+        # allocate and immediately discard a second set of regions).
+        machine = Machine.__new__(Machine)
+        machine.space = space
+        machine.image = image
+        machine.cache = cache
+        machine._stack_provider = lambda: ()
+        machine.recorder = TraceRecorder(
+            lambda: machine._stack_provider(), self.record_volatile_stores
+        )
+        machine.recorder._seq = self.seq
+        machine.allocations = list(self.allocations)
+        machine.global_addrs = dict(self.global_addrs)
+        machine.pm_root_addr = self.pm_root_addr
+        machine.pm_root_size = self.pm_root_size
+        machine.volatile_flushes = self.volatile_flushes
+        return machine
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate retained payload (observability/thinning)."""
+        return (
+            len(self.vol[2])
+            + len(self.stack[2])
+            + len(self.pm[2])
+            + len(self.durable)
+        )

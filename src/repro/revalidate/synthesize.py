@@ -1,0 +1,230 @@
+"""Synthesizing a post-fix trace from the baseline trace.
+
+Flush and fence insertions are *observationally linear*: they change no
+register value, no branch decision, no load result, and no store — so
+the fixed module's execution visits exactly the baseline's instruction
+sequence, plus the inserted instructions immediately after each dynamic
+execution of their anchor.  The post-fix trace is therefore a pure
+function of the baseline trace:
+
+1. after every PM store event of a store anchor, splice the fix's
+   flush events (and fence, for flush&fence fixes);
+2. after every PM flush event of a flush anchor, splice the fence;
+3. anchors can also execute against *volatile* targets (a shared helper
+   like ``memcpy``): those executions record no store/flush event, but
+   an inserted **fence still executes and records**.  The recording
+   run's volatile-op side channel (:class:`VolAnchorOp` entries noted
+   by the recording trace recorder) pins where those fences land;
+4. renumber sequence ids densely (every recorded event consumes one
+   ``seq``, exactly as a live recorder would);
+5. recompute every flush event's ``had_work`` bit by replaying the
+   cache-line durability state machine over the synthesized stream —
+   an inserted flush can turn a later baseline flush redundant, and the
+   redundant-flush *performance* reports key on that bit.
+
+Field fidelity: events that exist in the baseline keep their recorded
+stacks; synthesized flush/fence events derive theirs from the anchor
+event (same caller frames, innermost frame swapped for the inserted
+instruction).  Fences synthesized for *volatile* anchor executions have
+no anchor event to borrow a stack from and get a single-frame stack —
+the detector never reads fence stacks, so detection results (and every
+canonical record derived from them) are still byte-identical to a real
+re-execution; only that one stack field is approximate.
+
+The returned ``changed_from`` index is the synthesized-stream position
+of the first inserted event: every event before it is the identical
+baseline object, which lets the engine resume the checker from a
+memoized fork instead of re-feeding the prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..memory.layout import line_of, lines_covering
+from ..trace.events import (
+    FenceEvent,
+    FlushEvent,
+    StackFrame,
+    StoreEvent,
+    TraceEvent,
+)
+from ..trace.trace import PMTrace
+from .witness import InsertionSpec, SynthFence, SynthFlush
+
+
+class SynthesisResult:
+    """A synthesized post-fix trace plus what it disturbed."""
+
+    def __init__(
+        self,
+        trace: PMTrace,
+        affected_lines: Set[int],
+        changed_from: int,
+        inserted_events: int,
+    ):
+        self.trace = trace
+        #: cache lines (chains) whose durability history the insertions
+        #: touch: the lines inserted flushes cover, plus every line with
+        #: pending (dirty or queued) state at each inserted fence.  Bug
+        #: verdicts outside these chains cannot change.
+        self.affected_lines = affected_lines
+        #: first synthesized-stream index that differs from the
+        #: baseline (== len(trace) when nothing was inserted)
+        self.changed_from = changed_from
+        self.inserted_events = inserted_events
+
+
+def synthesize_fixed_trace(
+    baseline: PMTrace,
+    vol_ops: Iterable,  # Iterable[VolAnchorOp]
+    specs: Iterable[InsertionSpec],
+) -> SynthesisResult:
+    """Build the trace the fixed module's re-execution would record."""
+    store_plans: Dict[int, List[InsertionSpec]] = {}
+    flush_plans: Dict[int, List[InsertionSpec]] = {}
+    for spec in specs:
+        plans = store_plans if spec.anchor_kind == "store" else flush_plans
+        plans.setdefault(spec.anchor_iid, []).append(spec)
+
+    events = baseline.events
+    out: List[TraceEvent] = []
+    affected: Set[int] = set()
+    changed_from: Optional[int] = None
+    inserted_events = 0
+    #: line address -> [dirty, flushing] (mirrors CacheModel semantics;
+    #: the checker only needs the booleans, never the store-seq sets)
+    lines: Dict[int, List[bool]] = {}
+    seq = 0
+
+    def sim_flush(line_addr: int, kind: str) -> bool:
+        """Apply one flush to the simulation; return its had_work bit."""
+        state = lines.get(line_addr)
+        if state is None:
+            return False
+        dirty, flushing = state
+        if dirty:
+            if kind == "clflush":
+                state[0] = state[1] = False
+            else:
+                state[0] = False
+                state[1] = True
+        # A clean line is redundant (no work) unless already queued
+        # (coalesced); either way the state does not change.
+        return dirty or flushing
+
+    def pending_lines() -> List[int]:
+        return [addr for addr, st in lines.items() if st[0] or st[1]]
+
+    def emit_base(event: TraceEvent) -> None:
+        nonlocal seq
+        seq += 1
+        if isinstance(event, StoreEvent):
+            if event.space == "pm":
+                which = 1 if event.nontemporal else 0
+                for line_addr in lines_covering(event.addr, event.size):
+                    lines.setdefault(line_addr, [False, False])[which] = True
+        elif isinstance(event, FlushEvent):
+            had_work = sim_flush(event.line_addr, event.flush_kind)
+            if event.seq != seq or event.had_work != had_work:
+                event = replace(event, seq=seq, had_work=had_work)
+            out.append(event)
+            return
+        elif isinstance(event, FenceEvent):
+            for state in lines.values():
+                state[1] = False
+        if event.seq != seq:
+            event = replace(event, seq=seq)
+        out.append(event)
+
+    def emit_synth(spec: InsertionSpec, anchor_event: Optional[TraceEvent]) -> None:
+        """Splice one fix's inserted events after an anchor execution.
+
+        ``anchor_event`` is None for a volatile-target execution: the
+        inserted flushes then flush volatile lines (no event, no PM
+        effect) and only the fences record.
+        """
+        nonlocal seq, changed_from, inserted_events
+        for op in spec.ops:
+            if isinstance(op, SynthFlush):
+                if anchor_event is None:
+                    continue
+                if changed_from is None:
+                    changed_from = len(out)
+                addr = anchor_event.addr + op.offset
+                line_addr = line_of(addr)
+                affected.add(line_addr)
+                had_work = sim_flush(line_addr, op.flush_kind)
+                seq += 1
+                inserted_events += 1
+                out.append(
+                    FlushEvent(
+                        seq=seq,
+                        iid=op.iid,
+                        loc=op.loc,
+                        function=anchor_event.function,
+                        stack=anchor_event.stack[:-1]
+                        + (StackFrame(anchor_event.function, op.iid, op.loc),),
+                        addr=addr,
+                        line_addr=line_addr,
+                        flush_kind=op.flush_kind,
+                        had_work=had_work,
+                    )
+                )
+            else:
+                assert isinstance(op, SynthFence)
+                if changed_from is None:
+                    changed_from = len(out)
+                affected.update(pending_lines())
+                for state in lines.values():
+                    state[1] = False
+                seq += 1
+                inserted_events += 1
+                if anchor_event is not None:
+                    function = anchor_event.function
+                    stack = anchor_event.stack[:-1] + (
+                        StackFrame(function, op.iid, op.loc),
+                    )
+                else:
+                    function = spec.function
+                    stack = (StackFrame(function, op.iid, op.loc),)
+                out.append(
+                    FenceEvent(
+                        seq=seq,
+                        iid=op.iid,
+                        loc=op.loc,
+                        function=function,
+                        stack=stack,
+                        fence_kind=op.fence_kind,
+                    )
+                )
+
+    def emit_vol_anchor(op) -> None:
+        plans = store_plans if op.kind == "store" else flush_plans
+        for spec in plans.get(op.iid, ()):
+            emit_synth(spec, None)
+
+    pending_vol = sorted(vol_ops, key=lambda op: op.pos)
+    vol_index = 0
+    for position, event in enumerate(events):
+        while vol_index < len(pending_vol) and pending_vol[vol_index].pos <= position:
+            emit_vol_anchor(pending_vol[vol_index])
+            vol_index += 1
+        emit_base(event)
+        if isinstance(event, StoreEvent) and event.iid in store_plans:
+            for spec in store_plans[event.iid]:
+                emit_synth(spec, event if event.space == "pm" else None)
+        elif isinstance(event, FlushEvent) and event.iid in flush_plans:
+            for spec in flush_plans[event.iid]:
+                emit_synth(spec, event)
+    while vol_index < len(pending_vol):
+        emit_vol_anchor(pending_vol[vol_index])
+        vol_index += 1
+
+    return SynthesisResult(
+        trace=PMTrace(out),
+        affected_lines=affected,
+        changed_from=changed_from if changed_from is not None else len(out),
+        inserted_events=inserted_events,
+    )

@@ -1,0 +1,114 @@
+"""The mutation witness: what a committed flush/fence fix inserted.
+
+A :class:`~repro.core.transaction.FixTransaction` that only inserted
+flushes and fences can describe itself *exactly*: each fix anchors at an
+existing instruction (the buggy store, or the existing flush a fence
+follows) and appends a short straight-line run of ``flush``/``gep``/
+``fence`` instructions immediately after it.  An :class:`InsertionSpec`
+captures that shape as plain data — the anchor iid, and per inserted
+instruction its iid, source location, and (for flushes) the constant
+byte offset of its target from the anchor store's address.
+
+The incremental revalidation engine consumes specs to *synthesize* the
+post-fix trace from the baseline trace without re-executing the module
+(see :mod:`repro.revalidate.synthesize`): inserted flushes and fences
+change no register value, no branch, and no store, so their only
+observable effect is the extra flush/fence events (and the ``had_work``
+bits a cache simulation recomputes).
+
+:func:`spec_for_fix` returns None when the inserted instructions do not
+match the expected shape — the engine then falls back to snapshot
+replay, never to guessing.
+
+This module sits below :mod:`repro.core` in the import graph (it only
+needs the IR), so both the transaction layer and the engine can import
+it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple, Union
+
+from ..ir.debuginfo import DebugLoc
+from ..ir.instructions import Fence, Flush, Gep, Instruction, Store
+from ..ir.values import Constant
+
+
+@dataclass(frozen=True)
+class SynthFlush:
+    """An inserted flush: targets ``anchor_store_addr + offset``."""
+
+    iid: int
+    loc: DebugLoc
+    flush_kind: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class SynthFence:
+    """An inserted fence (executes unconditionally after the anchor)."""
+
+    iid: int
+    loc: DebugLoc
+    fence_kind: str
+
+
+SynthOp = Union[SynthFlush, SynthFence]
+
+
+@dataclass(frozen=True)
+class InsertionSpec:
+    """One committed fix's insertions, anchored at one instruction."""
+
+    anchor_iid: int
+    #: ``"store"`` — events key on PM store events of the anchor;
+    #: ``"flush"`` — on PM flush events of the anchor.
+    anchor_kind: str
+    #: the anchor's enclosing function (stack synthesis for executions
+    #: the baseline trace does not show, i.e. volatile targets)
+    function: str
+    ops: Tuple[SynthOp, ...]
+
+
+def spec_for_fix(
+    anchor: Instruction, inserted: Iterable[Instruction]
+) -> Optional[InsertionSpec]:
+    """Describe ``inserted`` (in program order, as applied after
+    ``anchor``) as an :class:`InsertionSpec`, or None if the shape is
+    not the straight-line flush/gep/fence run the engine understands."""
+    if isinstance(anchor, Store):
+        anchor_kind = "store"
+    elif isinstance(anchor, Flush):
+        anchor_kind = "flush"
+    else:
+        return None
+    # Byte offsets (from the anchor's pointer) of the pointer values the
+    # inserted flushes may target: the anchor's own pointer, plus any
+    # inserted gep at a constant offset from a known pointer.
+    offsets = {}
+    pointer = getattr(anchor, "pointer", None)
+    if pointer is not None:
+        offsets[id(pointer)] = 0
+    ops = []
+    for instr in inserted:
+        if isinstance(instr, Gep):
+            base_off = offsets.get(id(instr.base))
+            if base_off is None or not isinstance(instr.offset, Constant):
+                return None
+            offsets[id(instr)] = base_off + instr.offset.value
+        elif isinstance(instr, Flush):
+            offset = offsets.get(id(instr.pointer))
+            if offset is None:
+                return None
+            ops.append(SynthFlush(instr.iid, instr.loc, instr.kind, offset))
+        elif isinstance(instr, Fence):
+            ops.append(SynthFence(instr.iid, instr.loc, instr.kind))
+        else:
+            return None
+    return InsertionSpec(
+        anchor_iid=anchor.iid,
+        anchor_kind=anchor_kind,
+        function=anchor.function.name if anchor.function is not None else "",
+        ops=tuple(ops),
+    )

@@ -29,6 +29,7 @@ from ..detect import pmemcheck_run
 from ..errors import ReproError
 from ..ir.printer import format_module
 from ..obs.observability import NULL_OBS, Observability
+from ..revalidate import IncrementalRevalidator
 
 #: task kinds
 KINDS = ("corpus", "file")
@@ -58,6 +59,9 @@ class CaseOutcome:
     module: Any = None
     #: analysis-manager hit/miss counters (volatile — never journaled)
     analysis_stats: Optional[Dict[str, int]] = None
+    #: how revalidation ran (mode, segments replayed, chains rechecked)
+    #: — volatile diagnostics, never journaled
+    revalidation: Optional[Dict[str, Any]] = None
 
     @property
     def fixed(self) -> bool:
@@ -69,15 +73,32 @@ def run_case(
     heuristic: str = "full",
     analysis_cache_dir: Optional[str] = None,
     obs: Optional[Observability] = None,
+    incremental_revalidate: bool = True,
 ) -> CaseOutcome:
-    """Detect, fix, and revalidate one corpus case."""
+    """Detect, fix, and revalidate one corpus case.
+
+    With ``incremental_revalidate`` (the default) the detection run is
+    recorded and the post-fix check goes through the
+    :class:`~repro.revalidate.engine.IncrementalRevalidator` — same
+    detection results, byte-identical canonical reports, but
+    flush/fence-only repairs revalidate without re-executing the
+    workload.  ``incremental_revalidate=False`` (the
+    ``--no-incremental-revalidate`` escape hatch) re-runs everything
+    from scratch.
+    """
     obs = obs if obs is not None else NULL_OBS
     metrics = obs.metrics if obs.enabled else None
     module = case.build()
+    engine: Optional[IncrementalRevalidator] = None
+    if incremental_revalidate:
+        engine = IncrementalRevalidator(case.drive, metrics=metrics)
     with obs.span("detect", case=case.case_id):
-        detection, trace, interp = pmemcheck_run(
-            module, case.drive, metrics=metrics
-        )
+        if engine is not None:
+            detection, trace, interp = engine.record(module)
+        else:
+            detection, trace, interp = pmemcheck_run(
+                module, case.drive, metrics=metrics
+            )
     fixer = Hippocrates(
         module,
         trace,
@@ -85,11 +106,18 @@ def run_case(
         heuristic=heuristic,
         analysis_cache_dir=analysis_cache_dir,
         obs=obs,
+        revalidator=engine,
     )
     plan = fixer.compute_fixes()
     fix_report = fixer.apply(plan)
+    revalidation: Optional[Dict[str, Any]] = None
     with obs.span("revalidate", case=case.case_id):
-        after, _, _ = pmemcheck_run(module, case.drive, metrics=metrics)
+        if engine is not None:
+            outcome = fixer.revalidate()
+            after = outcome.detection
+            revalidation = outcome.as_stats()
+        else:
+            after, _, _ = pmemcheck_run(module, case.drive, metrics=metrics)
     kinds = sorted({classify_fix(f) for f in plan.fixes})
     comparison = None
     if case.developer_fix:
@@ -104,6 +132,7 @@ def run_case(
         comparison=comparison,
         module=module,
         analysis_stats=fixer.manager.stats.as_dict(),
+        revalidation=revalidation,
     )
 
 
@@ -131,6 +160,11 @@ class RepairTask:
         content-addressed, so it never changes *what* a task computes —
         only whether the Andersen fixpoint is re-solved — and is
         deliberately excluded from the journaled result record.
+    :param incremental_revalidate: route post-fix revalidation through
+        the incremental engine (corpus tasks).  Results are
+        byte-identical either way (the differential suite enforces it),
+        so — like the analysis cache — the flag is excluded from the
+        journaled record.
     """
 
     task_id: str
@@ -142,6 +176,7 @@ class RepairTask:
     heuristic: str = "full"
     lenient: bool = False
     analysis_cache_dir: Optional[str] = None
+    incremental_revalidate: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -163,6 +198,7 @@ class RepairTask:
             "heuristic": self.heuristic,
             "lenient": self.lenient,
             "analysis_cache_dir": self.analysis_cache_dir,
+            "incremental_revalidate": self.incremental_revalidate,
         }
 
     @staticmethod
@@ -177,6 +213,9 @@ class RepairTask:
             heuristic=spec.get("heuristic", "full"),
             lenient=bool(spec.get("lenient", False)),
             analysis_cache_dir=spec.get("analysis_cache_dir"),
+            incremental_revalidate=bool(
+                spec.get("incremental_revalidate", True)
+            ),
         )
 
 
@@ -184,6 +223,7 @@ def corpus_tasks(
     case_ids: Optional[List[str]] = None,
     heuristic: str = "full",
     analysis_cache_dir: Optional[str] = None,
+    incremental_revalidate: bool = True,
 ) -> List[RepairTask]:
     """Build the corpus batch (default: every case, corpus order)."""
     known = {case.case_id: case for case in all_cases()}
@@ -198,7 +238,8 @@ def corpus_tasks(
         tasks.append(
             RepairTask(task_id=case_id, kind="corpus", case_id=case_id,
                        heuristic=heuristic,
-                       analysis_cache_dir=analysis_cache_dir)
+                       analysis_cache_dir=analysis_cache_dir,
+                       incremental_revalidate=incremental_revalidate)
         )
     return tasks
 
@@ -267,6 +308,7 @@ def execute_task(task: RepairTask, obs: Optional[Observability] = None) -> TaskR
                 heuristic=task.heuristic,
                 analysis_cache_dir=task.analysis_cache_dir,
                 obs=obs,
+                incremental_revalidate=task.incremental_revalidate,
             )
             digest = _module_digest(outcome.module)
             return TaskResult(

@@ -69,6 +69,14 @@ class TraceRecorder:
         set this for tests that want volatile stores too.
     """
 
+    #: Recording subclasses that keep a volatile-operation side channel
+    #: set this True; the interpreter then calls :meth:`note_vol_flush`
+    #: for flushes of volatile addresses (which record no trace event).
+    record_vol_ops = False
+
+    def note_vol_flush(self) -> None:  # pragma: no cover - subclass hook
+        """Called for a volatile-target flush when ``record_vol_ops``."""
+
     def __init__(
         self,
         stack_provider: Callable[[], CallStack],

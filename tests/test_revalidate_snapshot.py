@@ -1,0 +1,144 @@
+"""Snapshot isolation: replaying from a memoized snapshot must never
+mutate it.
+
+The latent hazard: :class:`MachineSnapshot` memoizes the machine's
+cache-durability state, whose per-line ``dirty_stores`` /
+``flushing_stores`` sets the fence handler mutates **in place**.  If
+capture or :meth:`materialize` shared those containers, the first
+replay's fences would drain the snapshot's sets and a second replay
+from the same snapshot would see already-fenced lines — silently
+changing detection results.  These are the regression tests for the
+deep-copy-both-ways contract (see ``src/repro/revalidate/snapshot.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.hippocrates import Hippocrates
+from repro.ir import I64, ModuleBuilder, PTR
+from repro.revalidate import IncrementalRevalidator
+
+
+def build_two_phase_module():
+    """Two top-level entry points: ``setup`` leaves PM state pending
+    (dirty lines at the call boundary), ``finish`` stores unpersisted.
+    The snapshot between the calls carries non-empty cache-line sets —
+    exactly the state the aliasing hazard corrupts."""
+    mb = ModuleBuilder("twophase")
+
+    b = mb.function("setup", [], I64, source_file="twophase.c")
+    base = b.call("pm_root", [256], PTR)
+    b.store(1, base)
+    b.flush(base)  # flushing, never fenced: pending at the boundary
+    slot = b.gep(base, 64)
+    b.store(2, slot)  # dirty at the boundary
+    b.ret(0)
+
+    b = mb.function("finish", [], I64, source_file="twophase.c")
+    root = b.call("pm_root", [256], PTR)
+    # persist setup's pending lines: the flush covers the dirty slot,
+    # the fence completes both it and setup's un-fenced flush — so the
+    # only bug left anchors *in this segment*
+    slot = b.gep(root, 64)
+    b.flush(slot)
+    b.fence()
+    target = b.gep(root, 128)
+    b.store(3, target)  # the bug the fix will repair
+    b.call("checkpoint", [])
+    b.ret(0)
+    return mb.module
+
+
+def drive(interp):
+    interp.call("setup")
+    interp.call("finish")
+
+
+def _record(module):
+    engine = IncrementalRevalidator(drive)
+    detection, trace, interp = engine.record(module)
+    return engine, detection, trace, interp
+
+
+def _boundary_snapshot(engine):
+    """The snapshot captured between ``setup`` and ``finish``."""
+    base = engine.baseline
+    segment = base.segments[1]
+    assert segment.fn_name == "finish"
+    assert segment.snapshot is not None
+    return segment.snapshot
+
+
+def test_snapshot_lines_survive_mutation_of_materialized_machine():
+    module = build_two_phase_module()
+    engine, _, _, _ = _record(module)
+    snapshot = _boundary_snapshot(engine)
+    # the recording left pending durability state at the boundary
+    assert any(dirty or flushing for _, dirty, flushing in snapshot.lines)
+
+    first = snapshot.materialize()
+    before = [
+        (addr, frozenset(dirty), frozenset(flushing))
+        for addr, dirty, flushing in snapshot.lines
+    ]
+    # simulate what a replayed fence does: drain every line in place
+    for state in first.cache.lines.values():
+        state.dirty_stores.clear()
+        state.flushing_stores.clear()
+    assert list(snapshot.lines) == before
+
+    second = snapshot.materialize()
+    for (addr, dirty, flushing) in snapshot.lines:
+        state = second.cache.lines[addr]
+        assert state.dirty_stores == set(dirty)
+        assert state.flushing_stores == set(flushing)
+
+
+def test_materialized_machines_share_no_mutable_state():
+    module = build_two_phase_module()
+    engine, _, _, _ = _record(module)
+    snapshot = _boundary_snapshot(engine)
+    a = snapshot.materialize()
+    b = snapshot.materialize()
+    for addr, state in a.cache.lines.items():
+        other = b.cache.lines[addr]
+        assert state is not other
+        assert state.dirty_stores is not other.dirty_stores
+        assert state.flushing_stores is not other.flushing_stores
+    # region bytes and the durable image are independent copies too
+    a.space.pm.data[0] ^= 0xFF
+    assert a.space.pm.data[0] != b.space.pm.data[0]
+    a.image._durable[0] ^= 0xFF
+    assert a.image._durable[0] != b.image._durable[0]
+    # and the allocation registry is not shared
+    a.allocations.append(None)
+    assert len(b.allocations) == len(a.allocations) - 1
+
+
+def test_second_replay_from_same_snapshot_is_unaffected_by_first():
+    """Two consecutive replay-tier revalidations resume from the same
+    memoized snapshot; if the first drained its cache-line sets, the
+    second would diverge."""
+    module = build_two_phase_module()
+    engine, detection, trace, interp = _record(module)
+    assert detection.bug_count >= 1
+
+    fixer = Hippocrates(
+        module, trace, interp.machine, heuristic="off", revalidator=engine
+    )
+    fixer.apply(fixer.compute_fixes())
+    # drop the insertion specs so revalidation must replay the
+    # interpreter from the boundary snapshot (the "incremental" tier)
+    engine.note_commit(set(), structural=False, insertions=None)
+
+    first = fixer.revalidate()
+    assert first.mode == "incremental"
+    assert first.replayed_from == 1  # resumed at the setup/finish boundary
+    second = fixer.revalidate()
+    assert second.mode == "incremental"
+    assert second.replayed_from == first.replayed_from
+    assert [b.as_record() for b in second.detection.bugs] == [
+        b.as_record() for b in first.detection.bugs
+    ]
+    assert len(second.trace.events) == len(first.trace.events)
+    for ours, theirs in zip(second.trace.events, first.trace.events):
+        assert ours == theirs
