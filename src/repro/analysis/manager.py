@@ -11,14 +11,24 @@ mutation happened so exactly the right entries are dropped.
 
 Invalidation matrix (driven by :meth:`mutation_committed`):
 
-======================  ==========  =========  =======  ==============
-mutation                points_to   callgraph  locator  verified(fn)
-======================  ==========  =========  =======  ==============
-flush/fence insertion   preserved   preserved  preserv  touched only
-clone / call retarget   dropped     dropped    preserv  touched only
-rollback (clean)        preserved   preserved  preserv  preserved
-rollback (failed)       stale       stale      stale    stale
-======================  ==========  =========  =======  ==============
+======================  ==========  =========  =======  ==============  =========
+mutation                points_to   callgraph  locator  verified(fn)    compiled
+======================  ==========  =========  =======  ==============  =========
+flush/fence insertion   preserved   preserved  preserv  touched only    touched
+clone / call retarget   dropped     dropped    preserv  touched only    touched
+rollback (clean)        preserved   preserved  preserv  preserved       touched
+rollback (failed)       stale       stale      stale    stale           touched
+======================  ==========  =========  =======  ==============  =========
+
+The compiled program (the flat engine's input, see
+:mod:`repro.interp.compile`) is *content*-exact, not shape-exact: even a
+flush insertion changes the code stream, so unlike points-to it can
+never be re-stamped across an epoch boundary.  Its entry is dropped on
+every epoch change and recomputed through
+:func:`~repro.interp.compile.cached_program`, which recompiles only
+functions whose :func:`~repro.interp.compile.function_signature` moved
+— so "touched" above costs one signature sweep plus recompiling the
+actually-edited function(s).
 
 Flush and fence instructions create no pointers, no allocation sites,
 and no calls to defined functions, so the Andersen solution and the call
@@ -50,6 +60,7 @@ from ..budget import Budget
 from ..errors import VerificationError
 from ..ir.module import Module
 from ..ir.verifier import verify_function
+from ..interp.compile import cached_program
 from .andersen import PointsTo
 from .callgraph import CallGraph
 from .diskcache import AnalysisDiskCache
@@ -68,6 +79,11 @@ VERIFIED = "verified"
 #: it cascades with the structure keys; flush/fence fixes preserve it —
 #: the engine itself reasons incrementally across those.
 REVALIDATION_INDEX = "revalidation_index"
+#: The flat engine's register-compiled program (a
+#: :class:`~repro.interp.compile.CompiledProgram`).  Epoch-bound by
+#: construction: dropped on *every* epoch change (commit or rollback)
+#: and recomputed incrementally.
+COMPILED = "compiled_program"
 
 #: Analyses a structural mutation (clone insertion, call retarget)
 #: invalidates; flush/fence insertion preserves them.
@@ -141,6 +157,7 @@ class AnalysisManager:
         self._entries: Dict[Hashable, _Entry] = {}
         self.register(POINTS_TO, self._compute_points_to)
         self.register(CALLGRAPH, self._compute_callgraph)
+        self.register(COMPILED, cached_program)
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Bump one stats counter (and its metrics mirror)."""
@@ -241,6 +258,14 @@ class AnalysisManager:
         epoch = self.module.epoch
         for key in [k for k, e in self._entries.items() if e.failure is not None]:
             del self._entries[key]
+        # The compiled program embeds the epoch it was built from and
+        # tracks content exactly (a flush insertion changes it, a clean
+        # rollback's epoch bump orphans it): never re-stamp it —
+        # recompute (incrementally) on next use.
+        compiled = self._entries.get(COMPILED)
+        if compiled is not None and compiled.epoch != epoch:
+            del self._entries[COMPILED]
+            self._count("invalidations")
         for entry in self._entries.values():
             entry.epoch = epoch
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..interp import make_interpreter
 from ..interp.interpreter import ExecutionResult, Interpreter, Machine
 from ..interp.costs import CostModel
 from ..ir.builder import IRBuilder, ModuleBuilder
@@ -440,7 +441,9 @@ class KVStore:
         fuel: int = 500_000_000,
     ):
         self.module = module
-        self.interp = interp or Interpreter(module, cost_model=cost_model, fuel=fuel)
+        self.interp = interp or make_interpreter(
+            module, cost_model=cost_model, fuel=fuel
+        )
         self.req_addr = self.interp.machine.global_addrs["req_buf"]
         self.reply_addr = self.interp.machine.global_addrs["reply"]
 

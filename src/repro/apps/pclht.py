@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional
 
+from ..interp import make_interpreter
 from ..interp.interpreter import Interpreter
 from ..ir.builder import ModuleBuilder
 from ..ir.module import Module
@@ -336,7 +337,7 @@ class PCLHT:
 
     def __init__(self, module: Module, interp: Optional[Interpreter] = None):
         self.module = module
-        self.interp = interp or Interpreter(module)
+        self.interp = interp or make_interpreter(module)
 
     def create(self, nbuckets: int = 64) -> None:
         self.interp.call("clht_create", [nbuckets])

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional
 
+from ..interp import make_interpreter
 from ..interp.interpreter import ExecutionResult, Interpreter
 from ..ir.builder import IRBuilder, ModuleBuilder
 from ..ir.module import Module
@@ -418,7 +419,7 @@ class Memcached:
 
     def __init__(self, module: Module, interp: Optional[Interpreter] = None):
         self.module = module
-        self.interp = interp or Interpreter(module)
+        self.interp = interp or make_interpreter(module)
         self.req_addr = self.interp.machine.global_addrs["mc_req"]
         self.reply_addr = self.interp.machine.global_addrs["mc_reply"]
 

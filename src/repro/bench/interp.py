@@ -1,0 +1,242 @@
+"""Bench-smoke for the flat execution engine: interpreter steps/sec,
+flat vs reference, on a detect-dominated workload.
+
+EXPERIMENTS E11 showed the detect phase — executing the workload under
+pmemcheck-style tracing — dominating per-task time, and within it raw
+instruction dispatch.  This bench measures exactly that axis with both
+engines on the same inputs:
+
+- **hot** — the gated measurement: a synthetic detect run modeled on
+  the E11 profile (tight compute loops punctuated by PM stores,
+  flushes, fences, and ``checkpoint`` durability boundaries), sized so
+  interpreter dispatch dominates wall time the way it does in the
+  corpus detect phase.  Each engine runs it ``REPEATS`` times and the
+  best run counts, which cancels warm-up and scheduler noise.
+- **corpus** — every corpus case's detect phase on both engines:
+  aggregate wall time and steps/sec, recorded for trend-tracking but
+  not gated (per-case fixed costs — machine construction, drivers,
+  trace recording — are engine-independent and drown the dispatch
+  ratio in noise at corpus step counts).
+
+Every run also cross-checks the two-engine contract where it is free
+to do so: steps, cycles, trace length, and bug counts must agree
+exactly between engines, else the bench fails regardless of speed.
+
+Exit status (the CI gate): 0 when the hot-workload steps/sec ratio
+flat/reference is at least ``GATE_SPEEDUP`` (the acceptance
+criterion's 3x minus 10% measurement tolerance) and no divergence was
+observed.  The result document is written to ``BENCH_interp.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus.bugs import all_cases
+from ..detect import pmemcheck_run
+from ..fsutil import atomic_write_text
+from ..interp import ENGINES
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..ir.types import I64, PTR
+
+#: Required steps/sec ratio (flat over reference) on the hot workload:
+#: the >=3x acceptance bar with 10% measurement tolerance.
+GATE_SPEEDUP = 2.7
+
+#: Timed repetitions per engine on the hot workload; best run counts.
+REPEATS = 3
+
+#: Hot-workload shape: ``ROUNDS`` outer iterations, each doing one PM
+#: store + flush + fence into a ``CELLS``-slot pool and then ``INNER``
+#: iterations of pure compute — the store:compute ratio of the corpus
+#: detect phase, at a step count high enough to time dispatch.
+ROUNDS = 400
+CELLS = 64
+INNER = 400
+
+
+def build_hot_module() -> Module:
+    """The detect-dominated synthetic workload (see module docstring)."""
+    mb = ModuleBuilder("bench_interp_hot")
+    fb = mb.function("work", [("rounds", I64)], I64)
+    rounds = fb.function.args[0]
+    iv = fb.alloca(8)
+    acc = fb.alloca(8)
+    jv = fb.alloca(8)
+    pool = fb.call("pm_alloc", [CELLS * 8], type_=PTR)
+    fb.store(0, iv)
+    fb.store(0, acc)
+    loop = fb.new_block("loop")
+    body = fb.new_block("body")
+    inner_hdr = fb.new_block("inner")
+    inner_body = fb.new_block("inner_body")
+    after = fb.new_block("after")
+    done = fb.new_block("done")
+    fb.jmp(loop)
+
+    fb.position_at_end(loop)
+    i = fb.load(iv)
+    fb.br(fb.icmp("ult", i, rounds), body, done)
+
+    fb.position_at_end(body)
+    slot = fb.gep(pool, fb.mul(fb.binop("urem", i, CELLS), 8))
+    fb.store(i, slot)
+    fb.flush(slot)
+    fb.fence()
+    fb.store(0, jv)
+    fb.jmp(inner_hdr)
+
+    fb.position_at_end(inner_hdr)
+    j = fb.load(jv)
+    fb.br(fb.icmp("ult", j, INNER), inner_body, after)
+
+    fb.position_at_end(inner_body)
+    a = fb.load(acc)
+    fb.store(fb.add(a, fb.add(fb.mul(j, 3), 7)), acc)
+    fb.store(fb.add(j, 1), jv)
+    fb.jmp(inner_hdr)
+
+    fb.position_at_end(after)
+    fb.store(fb.add(i, 1), iv)
+    fb.jmp(loop)
+
+    fb.position_at_end(done)
+    fb.call("checkpoint", [], type_=I64)
+    fb.ret(fb.load(acc))
+    return mb.module
+
+
+def _timed_detect(module: Module, drive, engine: str) -> Tuple[float, Dict]:
+    """One pmemcheck run; returns (wall seconds, identity fingerprint)."""
+    start = time.perf_counter()
+    result, trace, interp = pmemcheck_run(module, drive, engine=engine)
+    wall = time.perf_counter() - start
+    fingerprint = {
+        "steps": interp.steps,
+        "cycles": interp.costs.cycles,
+        "trace_events": len(trace.events),
+        "bugs": result.bug_count,
+        "output": list(interp.output),
+    }
+    return wall, fingerprint
+
+
+def _bench_hot(result: Dict) -> Dict:
+    module = build_hot_module()
+
+    def drive(interp):
+        interp.call("work", [ROUNDS])
+
+    per_engine: Dict[str, Dict] = {}
+    fingerprints: Dict[str, Dict] = {}
+    for engine in ENGINES:
+        walls = []
+        for _ in range(REPEATS):
+            wall, fingerprint = _timed_detect(module, drive, engine)
+            walls.append(wall)
+            fingerprints[engine] = fingerprint
+        best = min(walls)
+        per_engine[engine] = {
+            "best_seconds": round(best, 6),
+            "all_seconds": [round(w, 6) for w in walls],
+            "steps": fingerprints[engine]["steps"],
+            "steps_per_sec": round(fingerprints[engine]["steps"] / best, 1),
+        }
+    flat, reference = fingerprints["flat"], fingerprints["reference"]
+    if flat != reference:
+        result["failures"].append(
+            f"hot workload diverged between engines: flat={flat} "
+            f"reference={reference}"
+        )
+    speedup = (
+        per_engine["flat"]["steps_per_sec"]
+        / max(per_engine["reference"]["steps_per_sec"], 1e-9)
+    )
+    hot = {
+        "engines": per_engine,
+        "speedup": round(speedup, 3),
+        "gate": GATE_SPEEDUP,
+        "shape": {"rounds": ROUNDS, "cells": CELLS, "inner": INNER},
+    }
+    if speedup < GATE_SPEEDUP:
+        result["failures"].append(
+            f"flat-engine steps/sec speedup {speedup:.2f}x is below the "
+            f"{GATE_SPEEDUP}x gate on the detect-dominated workload"
+        )
+    return hot
+
+
+def _bench_corpus(result: Dict) -> Dict:
+    totals = {engine: {"seconds": 0.0, "steps": 0} for engine in ENGINES}
+    for case in all_cases():
+        module = case.build()
+        fingerprints: Dict[str, Dict] = {}
+        for engine in ENGINES:
+            wall, fingerprint = _timed_detect(module, case.drive, engine)
+            fingerprints[engine] = fingerprint
+            totals[engine]["seconds"] += wall
+            totals[engine]["steps"] += fingerprint["steps"]
+        if fingerprints["flat"] != fingerprints["reference"]:
+            result["failures"].append(
+                f"{case.case_id}: detect diverged between engines: "
+                f"flat={fingerprints['flat']} "
+                f"reference={fingerprints['reference']}"
+            )
+    corpus: Dict[str, Dict] = {}
+    for engine, total in totals.items():
+        corpus[engine] = {
+            "detect_seconds": round(total["seconds"], 6),
+            "steps": total["steps"],
+            "steps_per_sec": round(total["steps"] / max(total["seconds"], 1e-9), 1),
+        }
+    corpus["speedup"] = round(
+        corpus["flat"]["steps_per_sec"]
+        / max(corpus["reference"]["steps_per_sec"], 1e-9),
+        3,
+    )
+    return corpus
+
+
+def run_bench() -> Dict:
+    """Run both measurements; returns the result document."""
+    result: Dict = {"schema": "repro-bench-interp-v1", "failures": []}
+    result["hot"] = _bench_hot(result)
+    result["corpus_detect"] = _bench_corpus(result)
+    result["ok"] = not result["failures"]
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.interp", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_interp.json",
+        help="where to write the result document",
+    )
+    args = parser.parse_args(argv)
+    result = run_bench()
+    atomic_write_text(args.out, json.dumps(result, indent=2, sort_keys=True) + "\n")
+    hot = result["hot"]
+    corpus = result["corpus_detect"]
+    print(
+        f"interp bench: hot workload "
+        f"{hot['engines']['reference']['steps_per_sec']:,.0f} steps/s "
+        f"reference vs {hot['engines']['flat']['steps_per_sec']:,.0f} "
+        f"steps/s flat ({hot['speedup']}x, gate {hot['gate']}x); corpus "
+        f"detect {corpus['reference']['detect_seconds']}s vs "
+        f"{corpus['flat']['detect_seconds']}s ({corpus['speedup']}x)"
+    )
+    for failure in result["failures"]:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI job
+    sys.exit(main())

@@ -61,7 +61,7 @@ from .errors import (
     ValidationError,
 )
 from .fsutil import atomic_write_text
-from .interp import Interpreter, SimulatedCrash
+from .interp import ENGINES, SimulatedCrash, make_interpreter
 from .ir import format_module, parse_module, verify_module
 from .trace import dump_trace
 
@@ -88,9 +88,9 @@ def _load_module(path: str):
     return module
 
 
-def _run_entry(module, entry: str, args: List[int]):
+def _run_entry(module, entry: str, args: List[int], engine: Optional[str] = None):
     """Execute an entry point; returns the finished interpreter."""
-    interp = Interpreter(module)
+    interp = make_interpreter(module, engine=engine)
     try:
         result = interp.call(entry, args)
         print(f"@{entry}({', '.join(map(str, args))}) -> {result.value}")
@@ -105,7 +105,7 @@ def _run_entry(module, entry: str, args: List[int]):
 
 def cmd_run(ns: argparse.Namespace) -> int:
     module = _load_module(ns.module)
-    _run_entry(module, ns.entry, [int(a, 0) for a in ns.args])
+    _run_entry(module, ns.entry, [int(a, 0) for a in ns.args], engine=ns.engine)
     return 0
 
 
@@ -117,7 +117,9 @@ def cmd_show(ns: argparse.Namespace) -> int:
 
 def cmd_detect(ns: argparse.Namespace) -> int:
     module = _load_module(ns.module)
-    interp = _run_entry(module, ns.entry, [int(a, 0) for a in ns.args])
+    interp = _run_entry(
+        module, ns.entry, [int(a, 0) for a in ns.args], engine=ns.engine
+    )
     trace = interp.machine.trace
     if ns.trace_out:
         atomic_write_text(ns.trace_out, dump_trace(trace))
@@ -155,6 +157,28 @@ def cmd_fix(ns: argparse.Namespace) -> int:
     return 1 if report.quarantined else 0
 
 
+def _format_op_histogram(obs) -> str:
+    """Per-opcode execution histogram from the ``interp.ops.*`` counters
+    (identical on both engines — the counts come from the cost layer)."""
+    prefix = "interp.ops."
+    counters = obs.metrics_snapshot().get("counters", {})
+    ops = {
+        name[len(prefix):]: count
+        for name, count in counters.items()
+        if name.startswith(prefix) and count
+    }
+    if not ops:
+        return "op histogram: no executed instructions recorded"
+    total = sum(ops.values())
+    width = max(len(kind) for kind in ops)
+    lines = [f"op histogram ({total} instructions):"]
+    for kind, count in sorted(ops.items(), key=lambda item: -item[1]):
+        share = 100.0 * count / total
+        bar = "#" * max(1, round(share / 2))
+        lines.append(f"  {kind:<{width}} {count:>12} {share:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
 def cmd_batch(ns: argparse.Namespace) -> int:
     """Run (or resume) a batch of repairs under the supervisor."""
     from .supervisor import (
@@ -178,6 +202,7 @@ def cmd_batch(ns: argparse.Namespace) -> int:
                 heuristic=ns.heuristic,
                 analysis_cache_dir=cache_dir,
                 incremental_revalidate=not ns.no_incremental_revalidate,
+                engine=ns.engine,
             )
         )
     for spec in ns.task or []:
@@ -198,6 +223,7 @@ def cmd_batch(ns: argparse.Namespace) -> int:
                 heuristic=ns.heuristic,
                 lenient=ns.lenient,
                 analysis_cache_dir=cache_dir,
+                engine=ns.engine or "flat",
             )
         )
     if not tasks:
@@ -216,12 +242,14 @@ def cmd_batch(ns: argparse.Namespace) -> int:
         print(f"[{event}] {task_id}{suffix}", file=sys.stderr)
 
     # Observability is strictly off the canonical path: with or without
-    # these flags the batch report's bytes are identical.
+    # these flags the batch report's bytes are identical.  --profile
+    # enables metrics too: the per-opcode execution histogram rides on
+    # the interpreters' `interp.ops.*` counters.
     from .obs import JsonlSink, NULL_OBS, Observability, format_hotspots, profile_call
 
     obs = NULL_OBS
     sink = None
-    if ns.metrics_out or ns.spans_out:
+    if ns.metrics_out or ns.spans_out or ns.profile:
         if ns.spans_out:
             sink = JsonlSink(ns.spans_out)
         obs = Observability(sink=sink)
@@ -240,6 +268,7 @@ def cmd_batch(ns: argparse.Namespace) -> int:
         if ns.profile:
             report, hotspots = profile_call(run, top_n=ns.profile)
             print(format_hotspots(hotspots), file=sys.stderr)
+            print(_format_op_histogram(obs), file=sys.stderr)
         else:
             report = run()
         if ns.metrics_out:
@@ -280,10 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flag(command) -> None:
+        command.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None,
+            help="execution engine: 'flat' (register-compiled, the "
+            "default) or 'reference' (tree-walking oracle); observable "
+            "behaviour is byte-identical",
+        )
+
     run = sub.add_parser("run", help="execute an entry point")
     run.add_argument("module")
     run.add_argument("--entry", default="main")
     run.add_argument("--args", nargs="*", default=[])
+    add_engine_flag(run)
     run.set_defaults(fn=cmd_run)
 
     show = sub.add_parser("show", help="print a module's textual IR")
@@ -297,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--entry", default="main")
     detect.add_argument("--args", nargs="*", default=[])
     detect.add_argument("--trace-out", help="write the pmemcheck-style log here")
+    add_engine_flag(detect)
     detect.set_defaults(fn=cmd_detect)
 
     fix = sub.add_parser("fix", help="repair a module from a trace file")
@@ -441,8 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="run the batch under cProfile and print the top N "
-        "functions by cumulative time to stderr (default N: 25)",
+        "functions by cumulative time plus a per-opcode execution "
+        "histogram to stderr (default N: 25)",
     )
+    add_engine_flag(batch)
     batch.set_defaults(fn=cmd_batch)
     return parser
 

@@ -19,6 +19,7 @@ from typing import Callable, List, Tuple
 from ..detect import Driver, pmemcheck_run
 from ..detect.reports import DetectionResult
 from ..errors import ValidationError
+from ..interp import make_interpreter
 from ..interp.interpreter import Interpreter
 from ..ir.module import Module
 
@@ -40,7 +41,7 @@ def assert_fixed(module: Module, driver: Driver) -> None:
 
 def observable_behavior(module: Module, driver: Driver) -> List[int]:
     """Execute a workload and return its observable output."""
-    interp = Interpreter(module)
+    interp = make_interpreter(module)
     driver(interp)
     interp.finish()
     return list(interp.output)

@@ -14,6 +14,7 @@ workload under tracing and checks the result — the equivalent of
 
 from typing import Callable, Optional, Tuple
 
+from ..interp import make_interpreter
 from ..interp.costs import CostModel
 from ..interp.interpreter import Interpreter, Machine
 from ..ir.module import Module
@@ -33,6 +34,7 @@ def pmemcheck_run(
     cost_model: Optional[CostModel] = None,
     fuel: int = 50_000_000,
     metrics=None,
+    engine: Optional[str] = None,
 ) -> Tuple[DetectionResult, PMTrace, Interpreter]:
     """Execute ``driver`` against ``module`` under pmemcheck-style tracing.
 
@@ -40,9 +42,13 @@ def pmemcheck_run(
     consumes), and the finished interpreter (for inspecting machine
     state or observable output).  ``metrics`` (an optional
     :class:`~repro.obs.metrics.MetricsRegistry`) receives the
-    interpreter's step/flush/fence/store totals.
+    interpreter's step/flush/fence/store totals.  ``engine`` picks the
+    execution engine (default: the process-wide default, normally
+    ``"flat"``); both engines produce byte-identical traces.
     """
-    interp = Interpreter(module, cost_model=cost_model, fuel=fuel, metrics=metrics)
+    interp = make_interpreter(
+        module, engine=engine, cost_model=cost_model, fuel=fuel, metrics=metrics
+    )
     driver(interp)
     trace = interp.finish()
     return check_trace(trace), trace, interp

@@ -1,20 +1,99 @@
-"""IR execution: interpreter, machine state, cost model, intrinsics."""
+"""IR execution: interpreter, machine state, cost model, intrinsics.
 
-from .costs import CostCounter, CostModel
+Two engines execute the same IR with byte-identical observable behavior:
+
+- ``"flat"`` (:class:`FlatEngine`, the default) — register-compiled
+  dispatch over flat opcode tuples (see :mod:`repro.interp.compile` and
+  :mod:`repro.interp.engine`);
+- ``"reference"`` (:class:`Interpreter`) — the tree-walking reference
+  implementation, kept as the semantic oracle and escape hatch
+  (``--engine reference`` on the CLI).
+
+:func:`make_interpreter` is the construction point everything routes
+through; the differential suite holds the two engines byte-identical.
+"""
+
+from .compile import (
+    CompiledFunction,
+    CompiledProgram,
+    cached_program,
+    compile_function,
+    compile_module,
+    function_signature,
+)
+from .costs import CostCounter, CostModel, KIND_ORDER
+from .engine import FlatEngine
 from .frame import Frame
 from .interpreter import Allocation, ExecutionResult, Interpreter, Machine, run_module
 from .intrinsics import SimulatedCrash, intrinsic_names, is_intrinsic
 
+#: Valid engine kinds, in preference order.
+ENGINES = ("flat", "reference")
+
+_DEFAULT_ENGINE = "flat"
+
+
+def get_default_engine() -> str:
+    """The engine kind used when none is requested explicitly."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine kind (tests / tooling)."""
+    global _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    _DEFAULT_ENGINE = engine
+
+
+def engine_class(engine: str = None):
+    """The interpreter class implementing ``engine`` (default kind when
+    ``None``)."""
+    kind = engine or _DEFAULT_ENGINE
+    if kind == "flat":
+        return FlatEngine
+    if kind == "reference":
+        return Interpreter
+    raise ValueError(f"unknown engine {kind!r} (choose from {ENGINES})")
+
+
+def make_interpreter(module, engine: str = None, **kwargs) -> Interpreter:
+    """Construct an interpreter for ``module`` on the chosen engine.
+
+    ``kwargs`` are forwarded to the engine constructor (``machine``,
+    ``cost_model``, ``fuel``, ``metrics``, ``run_recorder``, ...); the
+    flat-only ``program_provider`` kwarg is dropped for the reference
+    engine so callers can pass it unconditionally.
+    """
+    cls = engine_class(engine)
+    if cls is Interpreter:
+        kwargs.pop("program_provider", None)
+    return cls(module, **kwargs)
+
+
 __all__ = [
     "Allocation",
+    "cached_program",
+    "compile_function",
+    "compile_module",
+    "CompiledFunction",
+    "CompiledProgram",
     "CostCounter",
     "CostModel",
+    "engine_class",
+    "ENGINES",
     "ExecutionResult",
+    "FlatEngine",
     "Frame",
+    "function_signature",
+    "get_default_engine",
     "Interpreter",
     "intrinsic_names",
     "is_intrinsic",
+    "KIND_ORDER",
     "Machine",
+    "make_interpreter",
     "run_module",
+    "set_default_engine",
     "SimulatedCrash",
 ]

@@ -15,7 +15,7 @@ values, which benchmarks can override.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
@@ -77,22 +77,74 @@ class CostModel:
         }
 
 
-@dataclass
-class CostCounter:
-    """Accumulates cost and operation counts during a run."""
+#: The charge kinds in canonical order.  Both execution engines count
+#: into dense per-kind slots indexed by :data:`KIND_INDEX`; the
+#: ``counts`` dict view is folded from the slots on demand (once, at the
+#: end of a run) instead of paying a dict get+set per executed step.
+KIND_ORDER = (
+    "load",
+    "store",
+    "arith",
+    "compare",
+    "branch",
+    "call",
+    "ret",
+    "alloca",
+    "gep",
+    "select",
+    "cast",
+    "intrinsic",
+    "flush",
+    "fence",
+)
 
-    model: CostModel = field(default_factory=CostModel)
-    cycles: int = 0
-    counts: Dict[str, int] = field(default_factory=dict)
+#: kind name -> dense slot index.
+KIND_INDEX = {kind: index for index, kind in enumerate(KIND_ORDER)}
+
+
+class CostCounter:
+    """Accumulates cost and operation counts during a run.
+
+    Counts live in a dense per-kind list during execution — the flat
+    engine bumps ``_dense[i] += 1`` with a local reference, never a dict
+    — and :attr:`counts` folds them into the kind-keyed dict the rest of
+    the system consumes.  The fold is pure (no state change), so reading
+    ``counts`` mid-run is safe and reflects everything charged so far.
+    """
+
+    __slots__ = ("model", "cycles", "_dense", "_extra")
+
+    def __init__(self, model: "CostModel" = None, cycles: int = 0):
+        self.model = model if model is not None else CostModel()
+        self.cycles = cycles
+        self._dense = [0] * len(KIND_ORDER)
+        #: kinds outside KIND_ORDER (none in-tree; future-proofing)
+        self._extra: Dict[str, int] = {}
 
     def charge(self, kind: str, amount: int) -> None:
         self.cycles += amount
-        self.counts[kind] = self.counts.get(kind, 0) + 1
+        index = KIND_INDEX.get(kind)
+        if index is None:
+            self._extra[kind] = self._extra.get(kind, 0) + 1
+        else:
+            self._dense[index] += 1
 
     def charge_extra(self, amount: int) -> None:
         self.cycles += amount
 
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-kind charge counts (kinds with zero charges omitted,
+        matching the lazily-populated dict this replaced)."""
+        folded = {
+            kind: count
+            for kind, count in zip(KIND_ORDER, self._dense)
+            if count
+        }
+        folded.update(self._extra)
+        return folded
+
     def summary(self) -> Dict[str, int]:
-        summary = dict(self.counts)
+        summary = self.counts
         summary["cycles"] = self.cycles
         return summary

@@ -9,6 +9,7 @@ input Hippocrates consumes.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type
 
@@ -72,6 +73,14 @@ class Allocation:
 class Machine:
     """Hardware state: address space, cache model, durable image, trace."""
 
+    # Allocation-site index state.  Class-level defaults (not set in
+    # ``__init__``) because snapshot restore materializes machines via
+    # ``Machine.__new__`` — those instances must also start unindexed.
+    _site_source: Optional[List[Allocation]] = None
+    _site_count = -1
+    _site_starts: List[int] = []
+    _site_allocs: List[Allocation] = []
+
     def __init__(self, record_volatile_stores: bool = False, pm_size: int = 1 << 24):
         self.space = AddressSpace(pm_size=pm_size)
         self.image = PersistentImage(self.space)
@@ -93,8 +102,28 @@ class Machine:
         self.allocations.append(Allocation(start, size, site))
 
     def site_of_addr(self, addr: int) -> Optional[str]:
-        """Allocation-site key owning ``addr`` (linear scan, test-scale)."""
-        for alloc in self.allocations:
+        """Allocation-site key owning ``addr``.
+
+        Backed by a lazily-(re)built sorted interval index: one
+        ``bisect`` per query instead of a linear scan over every
+        allocation — this sits on the addr→site path the Trace-AA
+        classifier walks for every traced PM store.  Allocations come
+        from bump allocators and never overlap, so the predecessor
+        interval is the only candidate.
+        """
+        allocations = self.allocations
+        if (
+            self._site_source is not allocations
+            or self._site_count != len(allocations)
+        ):
+            ordered = sorted(allocations, key=lambda alloc: alloc.start)
+            self._site_starts = [alloc.start for alloc in ordered]
+            self._site_allocs = ordered
+            self._site_source = allocations
+            self._site_count = len(allocations)
+        index = bisect_right(self._site_starts, addr) - 1
+        if index >= 0:
+            alloc = self._site_allocs[index]
             if alloc.contains(addr):
                 return alloc.site
         return None
@@ -283,6 +312,10 @@ class Interpreter:
                     ("fence", "interp.fences"),
                 ):
                     self.metrics.counter(name).inc(counts.get(kind, 0))
+                # Per-kind execution histogram (identical on both
+                # engines; `repro batch --profile` renders it).
+                for kind, count in counts.items():
+                    self.metrics.counter(f"interp.ops.{kind}").inc(count)
         return self.machine.trace
 
     @property
@@ -531,8 +564,15 @@ def run_module(
     cost_model: Optional[CostModel] = None,
     fuel: int = 50_000_000,
 ) -> Tuple[ExecutionResult, PMTrace, Machine]:
-    """One-shot convenience: run an entry point and finish the trace."""
-    interp = Interpreter(module, cost_model=cost_model, fuel=fuel)
+    """One-shot convenience: run an entry point and finish the trace.
+
+    Runs on the process-default engine (normally the flat engine); the
+    import is deferred because the engine module subclasses
+    :class:`Interpreter`.
+    """
+    from . import make_interpreter
+
+    interp = make_interpreter(module, cost_model=cost_model, fuel=fuel)
     result = interp.call(entry, args or [])
     trace = interp.finish()
     return result, trace, interp.machine

@@ -36,16 +36,23 @@ property suite).
 
 from .engine import IncrementalRevalidator, RevalidationOutcome
 from .recording import RecordedRun, RunRecorder, VolAnchorOp
-from .replay import ReplayDivergence, ReplayInterpreter
+from .replay import (
+    FlatReplayInterpreter,
+    ReplayDivergence,
+    ReplayInterpreter,
+    replay_class,
+)
 from .snapshot import MachineSnapshot
 from .synthesize import SynthesisResult, synthesize_fixed_trace
 from .witness import InsertionSpec, SynthFence, SynthFlush, spec_for_fix
 
 __all__ = [
+    "FlatReplayInterpreter",
     "IncrementalRevalidator",
     "InsertionSpec",
     "MachineSnapshot",
     "RecordedRun",
+    "replay_class",
     "ReplayDivergence",
     "ReplayInterpreter",
     "RevalidationOutcome",

@@ -54,12 +54,13 @@ from typing import Iterable, Optional, Set, Tuple
 from ..detect import Driver
 from ..detect.durability import ChainIndex, DurabilityChecker
 from ..detect.reports import DetectionResult
+from ..interp import ENGINES, get_default_engine, make_interpreter
 from ..interp.costs import CostModel
 from ..interp.interpreter import Interpreter, Machine
 from ..ir.module import Module
 from ..trace.trace import PMTrace
 from .recording import RecordedRun, RecordingTraceRecorder, RunRecorder
-from .replay import ReplayDivergence, ReplayInterpreter
+from .replay import ReplayDivergence, replay_class
 from .synthesize import synthesize_fixed_trace
 from .witness import InsertionSpec
 
@@ -120,6 +121,9 @@ class IncrementalRevalidator:
     :param metrics: optional
         :class:`~repro.obs.metrics.MetricsRegistry`; receives the
         ``revalidate.*`` counters and the interpreters' totals.
+    :param engine: execution engine kind, applied identically to
+        recording, replay, and fallback runs (default: the process-wide
+        default engine).  Both engines yield byte-identical recordings.
     """
 
     def __init__(
@@ -130,12 +134,18 @@ class IncrementalRevalidator:
         fuel: int = 50_000_000,
         max_snapshots: int = 32,
         metrics=None,
+        engine: Optional[str] = None,
     ):
         self.driver = driver
         self.cost_model = cost_model
         self.fuel = fuel
         self.max_snapshots = max_snapshots
         self.metrics = metrics
+        self.engine = engine or get_default_engine()
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (choose from {ENGINES})"
+            )
         self.baseline: Optional[RecordedRun] = None
         self.last_outcome: Optional[RevalidationOutcome] = None
         #: anchor iids committed since the current recording
@@ -180,8 +190,9 @@ class IncrementalRevalidator:
             lambda: machine._stack_provider()
         )
         machine.recorder = trace_recorder
-        interp = Interpreter(
+        interp = make_interpreter(
             module,
+            engine=self.engine,
             machine=machine,
             cost_model=self.cost_model,
             fuel=self.fuel,
@@ -402,7 +413,7 @@ class IncrementalRevalidator:
         snapshot = start.snapshot
         assert snapshot is not None
         machine = snapshot.materialize()
-        replay = ReplayInterpreter(
+        replay = replay_class(self.engine)(
             module,
             machine,
             snapshot,

@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional
 
 from ..errors import ReproError
 from ..interp.costs import CostModel
+from ..interp.engine import FlatEngine
 from ..interp.interpreter import ExecutionResult, Interpreter, Machine
 from ..ir.module import Module
 from .recording import CallRecord
@@ -88,3 +89,21 @@ class ReplayInterpreter(Interpreter):
     @property
     def skipped_remaining(self) -> int:
         return len(self._skip)
+
+
+class FlatReplayInterpreter(ReplayInterpreter, FlatEngine):
+    """Snapshot replay on the flat engine.
+
+    Pure mixin composition: :class:`ReplayInterpreter` contributes only
+    the ``call()`` skip-list logic, :class:`FlatEngine` the compiled
+    execution core, so replay-from-snapshot runs the same code path the
+    recording did under the flat engine."""
+
+
+def replay_class(engine: str):
+    """The replay interpreter class for an engine kind."""
+    if engine == "flat":
+        return FlatReplayInterpreter
+    if engine == "reference":
+        return ReplayInterpreter
+    raise ValueError(f"unknown engine {engine!r}")

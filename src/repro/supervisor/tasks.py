@@ -27,6 +27,7 @@ from ..core.hippocrates import FixReport, Hippocrates
 from ..corpus.bugs import BugCase, all_cases, classify_fix, compare_fix_kinds
 from ..detect import pmemcheck_run
 from ..errors import ReproError
+from ..interp import ENGINES, get_default_engine
 from ..ir.printer import format_module
 from ..obs.observability import NULL_OBS, Observability
 from ..revalidate import IncrementalRevalidator
@@ -74,6 +75,7 @@ def run_case(
     analysis_cache_dir: Optional[str] = None,
     obs: Optional[Observability] = None,
     incremental_revalidate: bool = True,
+    engine_kind: Optional[str] = None,
 ) -> CaseOutcome:
     """Detect, fix, and revalidate one corpus case.
 
@@ -84,20 +86,24 @@ def run_case(
     flush/fence-only repairs revalidate without re-executing the
     workload.  ``incremental_revalidate=False`` (the
     ``--no-incremental-revalidate`` escape hatch) re-runs everything
-    from scratch.
+    from scratch.  ``engine_kind`` picks the execution engine for every
+    run this case makes (detection, replay, revalidation); results are
+    byte-identical across engines.
     """
     obs = obs if obs is not None else NULL_OBS
     metrics = obs.metrics if obs.enabled else None
     module = case.build()
     engine: Optional[IncrementalRevalidator] = None
     if incremental_revalidate:
-        engine = IncrementalRevalidator(case.drive, metrics=metrics)
+        engine = IncrementalRevalidator(
+            case.drive, metrics=metrics, engine=engine_kind
+        )
     with obs.span("detect", case=case.case_id):
         if engine is not None:
             detection, trace, interp = engine.record(module)
         else:
             detection, trace, interp = pmemcheck_run(
-                module, case.drive, metrics=metrics
+                module, case.drive, metrics=metrics, engine=engine_kind
             )
     fixer = Hippocrates(
         module,
@@ -117,7 +123,9 @@ def run_case(
             after = outcome.detection
             revalidation = outcome.as_stats()
         else:
-            after, _, _ = pmemcheck_run(module, case.drive, metrics=metrics)
+            after, _, _ = pmemcheck_run(
+                module, case.drive, metrics=metrics, engine=engine_kind
+            )
     kinds = sorted({classify_fix(f) for f in plan.fixes})
     comparison = None
     if case.developer_fix:
@@ -165,6 +173,11 @@ class RepairTask:
         byte-identical either way (the differential suite enforces it),
         so — like the analysis cache — the flag is excluded from the
         journaled record.
+    :param engine: execution engine kind (``"flat"`` or
+        ``"reference"``).  Results are byte-identical across engines
+        (differential suite again), so the flag is likewise excluded
+        from the journaled record — a resumed batch may finish under a
+        different engine than it started with.
     """
 
     task_id: str
@@ -177,10 +190,15 @@ class RepairTask:
     lenient: bool = False
     analysis_cache_dir: Optional[str] = None
     incremental_revalidate: bool = True
+    engine: str = "flat"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise TaskError(f"unknown task kind {self.kind!r}; use {KINDS}")
+        if self.engine not in ENGINES:
+            raise TaskError(
+                f"unknown engine {self.engine!r}; use {ENGINES}"
+            )
         if self.kind == "corpus" and not self.case_id:
             raise TaskError("corpus task needs a case_id")
         if self.kind == "file" and not (self.module_path and self.trace_path):
@@ -199,6 +217,7 @@ class RepairTask:
             "lenient": self.lenient,
             "analysis_cache_dir": self.analysis_cache_dir,
             "incremental_revalidate": self.incremental_revalidate,
+            "engine": self.engine,
         }
 
     @staticmethod
@@ -216,6 +235,7 @@ class RepairTask:
             incremental_revalidate=bool(
                 spec.get("incremental_revalidate", True)
             ),
+            engine=spec.get("engine", get_default_engine()),
         )
 
 
@@ -224,6 +244,7 @@ def corpus_tasks(
     heuristic: str = "full",
     analysis_cache_dir: Optional[str] = None,
     incremental_revalidate: bool = True,
+    engine: Optional[str] = None,
 ) -> List[RepairTask]:
     """Build the corpus batch (default: every case, corpus order)."""
     known = {case.case_id: case for case in all_cases()}
@@ -239,7 +260,8 @@ def corpus_tasks(
             RepairTask(task_id=case_id, kind="corpus", case_id=case_id,
                        heuristic=heuristic,
                        analysis_cache_dir=analysis_cache_dir,
-                       incremental_revalidate=incremental_revalidate)
+                       incremental_revalidate=incremental_revalidate,
+                       engine=engine or get_default_engine())
         )
     return tasks
 
@@ -309,6 +331,7 @@ def execute_task(task: RepairTask, obs: Optional[Observability] = None) -> TaskR
                 analysis_cache_dir=task.analysis_cache_dir,
                 obs=obs,
                 incremental_revalidate=task.incremental_revalidate,
+                engine_kind=task.engine,
             )
             digest = _module_digest(outcome.module)
             return TaskResult(

@@ -1,0 +1,279 @@
+"""Two-engine differential: flat register-compiled vs tree-walking
+reference.
+
+The flat engine's contract is *byte-identity*: for any program —
+corpus case or seeded random — detection traces, bug records, cost
+cycles, per-opcode counts, observable output, error messages, and the
+batch layer's canonical journaled records must be exactly the same on
+both engines.  These tests diff all of it: per-case detect runs,
+property-based random programs, the error paths (fuel, traps,
+undefined values), the full repair pipeline per corpus case, and a
+batch killed mid-run on the flat engine resumed against a
+reference-engine baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.corpus.bugs import all_cases
+from repro.detect import pmemcheck_run
+from repro.faultinject.resume import run_kill_resume
+from repro.interp import ENGINES, make_interpreter
+from repro.ir import I64, ModuleBuilder, PTR
+from repro.supervisor import SupervisorConfig, run_batch
+from repro.supervisor.tasks import corpus_tasks, execute_task
+
+CASE_IDS = [case.case_id for case in all_cases()]
+
+
+def _case(case_id):
+    return next(c for c in all_cases() if c.case_id == case_id)
+
+
+def _detect_fingerprint(module, drive, engine):
+    """Everything observable about one detect run, as plain data."""
+    detection, trace, interp = pmemcheck_run(module, drive, engine=engine)
+    return {
+        "bugs": [b.describe() for b in detection.bugs],
+        "perf": [p.describe() for p in detection.perf],
+        "events": list(trace.events),
+        "steps": interp.steps,
+        "cycles": interp.costs.cycles,
+        "counts": dict(interp.costs.counts),
+        "output": list(interp.output),
+    }
+
+
+# ---------------------------------------------------------------------------
+# corpus detect runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_corpus_detect_byte_identical(case_id):
+    """Same module instance through both engines: every observable of
+    the detect phase must agree exactly, event for event."""
+    case = _case(case_id)
+    module = case.build()
+    flat = _detect_fingerprint(module, case.drive, "flat")
+    reference = _detect_fingerprint(module, case.drive, "reference")
+    assert len(flat["events"]) == len(reference["events"])
+    for ours, theirs in zip(flat["events"], reference["events"]):
+        assert ours == theirs
+    for key in ("bugs", "perf", "steps", "cycles", "counts", "output"):
+        assert flat[key] == reference[key], key
+
+
+# ---------------------------------------------------------------------------
+# property-based random programs
+# ---------------------------------------------------------------------------
+
+#: (persist?, slot, value, via_helper?) — mixes direct and
+#: helper-mediated PM stores (the helper call exercises the flat
+#: engine's inline frame push/pop) with per-slot persistence.
+action = st.tuples(
+    st.booleans(),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=1000),
+    st.booleans(),
+)
+
+
+def build_random(actions):
+    mb = ModuleBuilder("gen")
+    helper = mb.function("set_slot", [("p", PTR), ("v", I64)], source_file="gen.c")
+    helper.store(helper.function.args[1], helper.function.args[0])
+    helper.ret()
+
+    b = mb.function("main", [], I64, source_file="gen.c")
+    base = b.call("pm_alloc", [256], PTR)
+    vol = b.call("vol_alloc", [256], PTR)
+    b.call("set_slot", [vol, 1])
+    acc = b.alloca(8)
+    b.store(0, acc)
+    for persist, slot, value, via_helper in actions:
+        target = b.gep(base, slot * 64)
+        # spread the arithmetic opcodes through the program so the
+        # differential exercises the binop/icmp/select encodings too
+        mixed = b.add(b.mul(value, 3), b.binop("xor", value, slot))
+        b.store(b.add(b.load(acc), mixed), acc)
+        if via_helper:
+            b.call("set_slot", [target, value])
+        else:
+            b.store(value, target)
+        if persist:
+            b.flush(target)
+            b.fence()
+    b.call("checkpoint", [])
+    b.call("emit", [b.load(acc)])
+    b.ret(0)
+    return mb.module
+
+
+def drive_main(interp):
+    interp.call("main")
+
+
+@settings(max_examples=40, deadline=None)
+@given(actions=st.lists(action, min_size=1, max_size=10))
+def test_random_programs_byte_identical(actions):
+    module = build_random(actions)
+    flat = _detect_fingerprint(module, drive_main, "flat")
+    reference = _detect_fingerprint(module, drive_main, "reference")
+    assert flat == reference
+
+
+# ---------------------------------------------------------------------------
+# error-path parity
+# ---------------------------------------------------------------------------
+
+
+def _run_both(module, entry, args, **kwargs):
+    """Call ``entry`` on both engines; returns {engine: outcome} where
+    an outcome is ("ok", result-ish) or ("err", type-name, message)."""
+    outcomes = {}
+    for engine in ENGINES:
+        interp = make_interpreter(module, engine=engine, **kwargs)
+        try:
+            result = interp.call(entry, args)
+            outcomes[engine] = ("ok", result.value, interp.steps)
+        except Exception as exc:  # noqa: BLE001 - parity is the point
+            outcomes[engine] = ("err", type(exc).__name__, str(exc), interp.steps)
+    return outcomes
+
+
+def test_division_by_zero_message_parity():
+    mb = ModuleBuilder("divz")
+    b = mb.function("main", [("d", I64)], I64, source_file="d.c")
+    b.ret(b.binop("udiv", 10, b.function.args[0]))
+    outcomes = _run_both(mb.module, "main", [0])
+    assert outcomes["flat"] == outcomes["reference"]
+    assert outcomes["flat"][0] == "err"
+    assert "division by zero" in outcomes["flat"][2]
+
+
+def test_fuel_exhaustion_parity():
+    mb = ModuleBuilder("spin")
+    b = mb.function("main", [], I64, source_file="s.c")
+    loop = b.new_block("loop")
+    b.jmp(loop)
+    b.position_at_end(loop)
+    b.jmp(loop)
+    outcomes = _run_both(mb.module, "main", [], fuel=25)
+    assert outcomes["flat"] == outcomes["reference"]
+    assert outcomes["flat"][:3] == (
+        "err",
+        "FuelExhausted",
+        "exceeded fuel of 25 instructions",
+    )
+
+
+def test_stack_overflow_parity():
+    mb = ModuleBuilder("deep")
+    b = mb.function("rec", [("n", I64)], I64, source_file="r.c")
+    stop = b.new_block("stop")
+    go = b.new_block("go")
+    b.br(b.icmp("eq", b.function.args[0], 0), stop, go)
+    b.position_at_end(stop)
+    b.ret(0)
+    b.position_at_end(go)
+    b.ret(b.call("rec", [b.sub(b.function.args[0], 1)], I64))
+    outcomes = _run_both(mb.module, "rec", [1 << 40])
+    assert outcomes["flat"] == outcomes["reference"]
+    assert outcomes["flat"][0] == "err"
+
+
+def test_call_to_undefined_function_parity():
+    mb = ModuleBuilder("missing")
+    b = mb.function("main", [], I64, source_file="m.c")
+    b.ret(b.call("no_such_fn", [], I64))
+    outcomes = _run_both(mb.module, "main", [])
+    assert outcomes["flat"] == outcomes["reference"]
+    assert outcomes["flat"][:2] == ("err", "InterpreterError")
+
+
+def test_top_level_entry_errors_match():
+    """Unknown entry points and argument-count mismatches surface the
+    same way regardless of engine."""
+    mb = ModuleBuilder("entry")
+    b = mb.function("main", [("x", I64)], I64, source_file="e.c")
+    b.ret(b.function.args[0])
+    for entry, args in (("nope", []), ("main", [])):
+        errors = {}
+        for engine in ENGINES:
+            interp = make_interpreter(mb.module, engine=engine)
+            with pytest.raises(Exception) as excinfo:
+                interp.call(entry, args)
+            errors[engine] = (type(excinfo.value).__name__, str(excinfo.value))
+        assert errors["flat"] == errors["reference"], (entry, args)
+
+
+# ---------------------------------------------------------------------------
+# full pipeline + batch + kill/resume
+# ---------------------------------------------------------------------------
+
+
+def _task(case_id, engine):
+    from repro.supervisor import RepairTask
+
+    return RepairTask(
+        task_id=case_id, kind="corpus", case_id=case_id, engine=engine
+    )
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_pipeline_records_byte_identical_across_engines(case_id):
+    """The journaled record — detection counts, fixes, do-no-harm
+    verdicts, revalidation outcomes — must not depend on the engine."""
+    flat = execute_task(_task(case_id, "flat")).record
+    reference = execute_task(_task(case_id, "reference")).record
+    assert json.dumps(flat, sort_keys=True) == json.dumps(
+        reference, sort_keys=True
+    )
+
+
+BATCH_CASES = ["PMDK-452", "PMDK-940", "PMDK-447"]
+
+
+def _fast_config():
+    return SupervisorConfig(
+        mode="inprocess", max_retries=1, backoff_base=0.0, task_timeout=600.0
+    )
+
+
+def test_batch_reports_byte_identical_across_engines(tmp_path):
+    flat = run_batch(
+        corpus_tasks(BATCH_CASES, engine="flat"),
+        journal_path=str(tmp_path / "flat.journal"),
+        config=_fast_config(),
+    )
+    reference = run_batch(
+        corpus_tasks(BATCH_CASES, engine="reference"),
+        journal_path=str(tmp_path / "ref.journal"),
+        config=_fast_config(),
+    )
+    assert flat.canonical_json() == reference.canonical_json()
+
+
+def test_kill_mid_flat_batch_resumes_to_reference_baseline(tmp_path):
+    """The strongest cross-check: kill a flat-engine batch mid-task,
+    resume it, and compare the canonical bytes against an uninterrupted
+    reference-engine run of the same tasks."""
+    baseline = run_batch(
+        corpus_tasks(BATCH_CASES, engine="reference"),
+        journal_path=str(tmp_path / "ref.journal"),
+        config=_fast_config(),
+    ).canonical_json()
+    record = run_kill_resume(
+        corpus_tasks(BATCH_CASES, engine="flat"),
+        str(tmp_path / "kill-flat.journal"),
+        boundary=4,
+        baseline_bytes=baseline,
+        torn=False,
+    )
+    assert record.ok, record.problems
