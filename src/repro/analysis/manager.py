@@ -74,10 +74,12 @@ LOCATOR = "locator"
 VERIFIED = "verified"
 #: The incremental-revalidation baseline (a
 #: :class:`~repro.revalidate.recording.RecordedRun`): the recorded
-#: detection run the engine revalidates flush/fence fixes against.
-#: Structural fixes invalidate it (execution may diverge anywhere), so
-#: it cascades with the structure keys; flush/fence fixes preserve it —
-#: the engine itself reasons incrementally across those.
+#: detection run the engine revalidates committed fixes against.  It
+#: survives *every* mutation — flush/fence and structural alike — and
+#: is only computed when missing: the revalidation engine itself
+#: decides per-commit-batch whether its witness supports trace
+#: synthesis (flush/fence insertions, or structural fixes via
+#: callee-span rewriting), snapshot replay, or a full re-record.
 REVALIDATION_INDEX = "revalidation_index"
 #: The flat engine's register-compiled program (a
 #: :class:`~repro.interp.compile.CompiledProgram`).  Epoch-bound by
@@ -86,8 +88,12 @@ REVALIDATION_INDEX = "revalidation_index"
 COMPILED = "compiled_program"
 
 #: Analyses a structural mutation (clone insertion, call retarget)
-#: invalidates; flush/fence insertion preserves them.
-STRUCTURE_KEYS = (POINTS_TO, CALLGRAPH, REVALIDATION_INDEX)
+#: invalidates; flush/fence insertion preserves them.  The
+#: revalidation index is *not* among them: the recorded baseline stays
+#: valid as the thing fixes are revalidated against, and the engine
+#: falls back to an internal re-record exactly when the structural
+#: witness cannot support synthesis.
+STRUCTURE_KEYS = (POINTS_TO, CALLGRAPH)
 
 
 def classification_key(mode: str) -> Tuple[str, str]:

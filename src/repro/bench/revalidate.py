@@ -11,12 +11,15 @@ taken, both phase timings, and the engine's ``revalidate.*`` counters.
 
 Exit status (the CI gate): 0 when
 
-- every flush/fence-only case actually took the synthesis tier and
-  every structural case fell back to a full re-record, and
-- the aggregate revalidate-phase speedup across the synthesis-tier
+- every corpus case actually took the synthesis tier — flush/fence-only
+  repairs via event splicing, structural (clone + retarget) repairs via
+  callee-span rewriting — and
+- the aggregate revalidate-phase speedup across the flush/fence-only
   cases is at least ``GATE_SPEEDUP`` (the acceptance criterion's 3x
   minus 10% measurement tolerance — a regression of the incremental
-  path beyond that fails the build).
+  path beyond that fails the build).  The structural cases' own
+  speedup and the machine-pool gains are gated separately by
+  ``repro.bench.revalidate_structural`` (``BENCH_pool.json``).
 
 Detect-phase timings are recorded but not gated: recording a baseline
 costs about the same as a plain detection run by design, and CI
@@ -66,6 +69,11 @@ def run_bench() -> Dict:
     result: Dict = {"schema": "repro-bench-revalidate-v1", "failures": []}
     cases: Dict[str, Dict] = {}
 
+    # One untimed run warms the allocator and interpreter caches; in a
+    # fresh process the first case otherwise pays a cold-start tax big
+    # enough (relative to these millisecond phases) to flip the gate.
+    run_case(next(iter(all_cases())))
+
     inc_reval_total = 0.0
     full_reval_total = 0.0
     for case in all_cases():
@@ -100,19 +108,14 @@ def run_bench() -> Dict:
                 f"{outcome_inc.reports_after_fix} vs full "
                 f"{outcome_full.reports_after_fix} bug(s) remaining)"
             )
+        if mode != "synthesized":
+            result["failures"].append(
+                f"{case.case_id}: expected the synthesis tier, got "
+                f"mode {mode!r}"
+            )
         if case.case_id in SYNTH_CASES:
-            if mode != "synthesized":
-                result["failures"].append(
-                    f"{case.case_id}: expected the synthesis tier, got "
-                    f"mode {mode!r}"
-                )
             inc_reval_total += entry["revalidate_seconds"]["incremental"]
             full_reval_total += entry["revalidate_seconds"]["full"]
-        elif mode != "full":
-            result["failures"].append(
-                f"{case.case_id}: structural repair should force a full "
-                f"re-record, got mode {mode!r}"
-            )
 
     speedup = full_reval_total / max(inc_reval_total, 1e-9)
     result["cases"] = cases

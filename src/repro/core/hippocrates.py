@@ -309,9 +309,11 @@ class Hippocrates:
         #: the last :class:`~repro.revalidate.engine.RevalidationOutcome`
         self.last_revalidation = None
         if revalidator is not None:
-            # The baseline is a keyed analysis: structural commits drop
-            # it (it cascades with the structure keys) and the next
-            # lookup re-records against the mutated module.
+            # The baseline is a keyed analysis that survives *every*
+            # commit (flush/fence and structural alike): the engine
+            # itself decides per-revalidation whether the witness
+            # supports synthesis, snapshot replay, or a full re-record.
+            # The compute hook only fires when no baseline exists yet.
             self.manager.register(
                 REVALIDATION_INDEX,
                 lambda m: revalidator.rebuild_baseline(m),
@@ -569,9 +571,26 @@ class Hippocrates:
             if fix.call_site.function is not None:
                 txn.touch(fix.call_site.function.name)
             created_mark = len(transformer.created)
-            transformer.transform_call_site(fix.call_site)
-            for clone_name in transformer.created[created_mark:]:
-                txn.touch(clone_name)
+            orig_callee = fix.call_site.callee
+            clone_name, fence = transformer.transform_call_site(fix.call_site)
+            for name in transformer.created[created_mark:]:
+                txn.touch(name)
+            if clone_name != orig_callee or fence is not None:
+                # The structural witness: what the retarget + clone tree
+                # + fence did, as plain data — None (degraded) when any
+                # clone's insertions could not be described, which makes
+                # revalidation fall back to a full re-record.
+                txn.anchor_structural(
+                    transformer.structural_spec(
+                        fix.call_site, orig_callee, fence
+                    )
+                )
+            else:
+                # A re-hit of an already-transformed, already-fenced
+                # site mutates nothing (transform_call_site is
+                # idempotent): the commit is structural in name only,
+                # so keep the cached analyses and the batch witness.
+                txn.structural = False
         elif isinstance(fix, InsertFlush):
             assert fix.store is not None
             txn.track_fix(fix)
@@ -660,7 +679,10 @@ class Hippocrates:
                 txn.commit()
                 if self.revalidator is not None:
                     self.revalidator.note_commit(
-                        txn.anchor_iids, txn.structural, txn.insertions
+                        txn.anchor_iids,
+                        txn.structural,
+                        txn.insertions,
+                        txn.structural_specs,
                     )
                 applied.append(fix)
                 if isinstance(fix, HoistedFix):
@@ -693,11 +715,13 @@ class Hippocrates:
     def revalidate(self):
         """Re-check the repaired module through the incremental engine.
 
-        Consults the ``revalidation_index`` analysis first: flush/fence
-        commits preserve the recorded baseline across epochs, structural
-        commits drop it so the lookup re-records against the mutated
-        module (and the engine then reports mode ``"full"``).  Returns
-        the :class:`~repro.revalidate.engine.RevalidationOutcome`, also
+        Consults the ``revalidation_index`` analysis first: commits of
+        every kind preserve the recorded baseline across epochs (the
+        lookup only re-records when no baseline exists at all), and the
+        engine picks the cheapest sound tier against it — trace
+        synthesis for witnessed flush/fence *and* structural commits,
+        snapshot replay, or a full re-record.  Returns the
+        :class:`~repro.revalidate.engine.RevalidationOutcome`, also
         stored as :attr:`last_revalidation`.
         """
         if self.revalidator is None:

@@ -45,6 +45,12 @@ from ..ir.instructions import (
 )
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable, Value
+from ..revalidate.witness import (
+    CloneSpec,
+    StructuralSpec,
+    SynthFence,
+    spec_for_fix,
+)
 
 #: Suffix for persistent clones (the paper's ``modify_PM`` convention).
 PM_SUFFIX = "_PM"
@@ -130,6 +136,22 @@ def _clone_instruction(instr: Instruction, mapped, block_map) -> Instruction:
     raise FixError(f"cannot clone {instr!r}")  # pragma: no cover
 
 
+class _CloneMeta:
+    """Per-clone revalidation witness, retained by the transformer.
+
+    ``spec`` is None when any inserted covering flush could not be
+    described (degraded witness); ``retargeted`` lists the *original*
+    names of nested callees this clone was retargeted at, so a call
+    site's full clone closure can be walked.
+    """
+
+    __slots__ = ("spec", "retargeted")
+
+    def __init__(self, spec: Optional[CloneSpec], retargeted: Tuple[str, ...]):
+        self.spec = spec
+        self.retargeted = retargeted
+
+
 class SubprogramTransformer:
     """Builds and caches persistent subprogram clones for one module."""
 
@@ -149,6 +171,9 @@ class SubprogramTransformer:
         self.inserted: List[Instruction] = []
         #: functions newly created
         self.created: List[str] = []
+        #: original function name -> :class:`_CloneMeta` (the structural
+        #: synthesis witness for that clone)
+        self.clone_meta: Dict[str, _CloneMeta] = {}
 
     # -- clone creation ---------------------------------------------------------
 
@@ -166,18 +191,45 @@ class SubprogramTransformer:
 
         # Insert flushes after every may-PM store, reusing the clone's
         # own address computation (the store's pointer operand) and
-        # covering line-straddling stores.
+        # covering line-straddling stores.  Each store's inserted run is
+        # also described as an InsertionSpec anchored at the *clone's*
+        # store — the structural-synthesis witness; a run that cannot be
+        # described degrades the whole clone's witness.
         from .fixes import insert_covering_flushes
 
+        flush_specs: List[object] = []
+        degraded = False
         for orig, copy in instr_map.items():
             if isinstance(orig, Store) and self.classifier.store_may_be_pm(orig):
+                mark = len(self.inserted)
                 insert_covering_flushes(copy, "clwb", into=self.inserted)
+                spec = spec_for_fix(copy, self.inserted[mark:])
+                if spec is None:
+                    degraded = True
+                else:
+                    flush_specs.append(spec)
 
         # Retarget calls to PM-storing callees at their clones.
+        retargeted: List[str] = []
         for orig, copy in instr_map.items():
             if isinstance(copy, Call) and self._needs_clone(copy.callee):
+                retargeted.append(copy.callee)
                 copy.callee = self.persistent_clone(copy.callee)
                 self.module.bump_epoch()
+
+        self.clone_meta[fn_name] = _CloneMeta(
+            spec=None
+            if degraded
+            else CloneSpec(
+                orig_name=fn_name,
+                clone_name=clone_name,
+                iid_map=tuple(
+                    (orig.iid, copy.iid) for orig, copy in instr_map.items()
+                ),
+                flush_specs=tuple(flush_specs),
+            ),
+            retargeted=tuple(retargeted),
+        )
         return clone_name
 
     def _needs_clone(self, callee: str) -> bool:
@@ -225,3 +277,43 @@ class SubprogramTransformer:
         block.insert_after(call, fence)
         self.inserted.append(fence)
         return call.callee, fence
+
+    # -- structural-synthesis witness -------------------------------------------
+
+    def structural_spec(
+        self, call: Call, orig_callee: str, fence: Optional[Fence]
+    ) -> Optional[StructuralSpec]:
+        """Describe a transformed call site as a :class:`StructuralSpec`.
+
+        Walks the clone closure rooted at ``orig_callee`` (the callee's
+        clone plus every transitively retargeted nested clone).  Returns
+        None when any clone in the closure lacks a usable witness — the
+        revalidation engine then falls back to a full re-record.
+        """
+        clones: List[CloneSpec] = []
+        seen: set = set()
+        frontier = [orig_callee]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            meta = self.clone_meta.get(name)
+            if meta is None or meta.spec is None:
+                return None
+            clones.append(meta.spec)
+            frontier.extend(meta.retargeted)
+        return StructuralSpec(
+            call_iid=call.iid,
+            caller_function=(
+                call.function.name if call.function is not None else ""
+            ),
+            orig_callee=orig_callee,
+            clone_callee=call.callee,
+            fence=(
+                SynthFence(fence.iid, fence.loc, fence.kind)
+                if fence is not None
+                else None
+            ),
+            clones=tuple(clones),
+        )

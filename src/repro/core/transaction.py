@@ -30,7 +30,7 @@ from ..ir.module import Module
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..analysis.manager import AnalysisManager
-    from ..revalidate.witness import InsertionSpec
+    from ..revalidate.witness import InsertionSpec, StructuralSpec
     from .fixes import Fix
     from .subprogram import SubprogramTransformer
 
@@ -54,6 +54,10 @@ class FixTransaction:
         #: once an insertion could not be described — incremental
         #: revalidation then degrades from synthesis to replay.
         self.insertions: Optional[List["InsertionSpec"]] = []
+        #: structural (hoisted-fix) witnesses, or None once a structural
+        #: mutation could not be described — incremental revalidation
+        #: then degrades from structural synthesis to a full re-record.
+        self.structural_specs: Optional[List["StructuralSpec"]] = []
         self._undo: List[Callable[[], None]] = []
         self._done = False
 
@@ -72,6 +76,17 @@ class FixTransaction:
             self.insertions = None
         elif self.insertions is not None:
             self.insertions.append(spec)
+
+    def anchor_structural(self, spec: Optional["StructuralSpec"]) -> None:
+        """Witness a hoisted fix (call retarget onto a clone tree).
+
+        ``spec`` describes the retarget, the clone closure and the
+        inserted fence exactly; None marks the structural mutation as
+        present but indescribable."""
+        if spec is None:
+            self.structural_specs = None
+        elif self.structural_specs is not None:
+            self.structural_specs.append(spec)
 
     # -- trackers -----------------------------------------------------------
 
@@ -111,6 +126,7 @@ class FixTransaction:
         created_mark = len(transformer.created)
         inserted_mark = len(transformer.inserted)
         clones_before = dict(transformer.clones)
+        meta_before = dict(transformer.clone_meta)
         self.structural = True
 
         def undo() -> None:
@@ -122,6 +138,8 @@ class FixTransaction:
             del transformer.inserted[inserted_mark:]
             transformer.clones.clear()
             transformer.clones.update(clones_before)
+            transformer.clone_meta.clear()
+            transformer.clone_meta.update(meta_before)
 
         self._undo.append(undo)
 

@@ -276,6 +276,8 @@ class FlatEngine(Interpreter):
         m_fence_per_line = model.fence_per_line
         fuel = self.fuel
         seg_iids = self._seg_iids
+        run_rec = self._run_recorder
+        trace_events = recorder.trace.events
         steps = self.steps
         cycles = costs.cycles
         cold = self._cold
@@ -399,6 +401,13 @@ class FlatEngine(Interpreter):
                             inst[5],
                             stack_mark(),
                         ]
+                        if run_rec is not None:
+                            run_rec.enter_callee(
+                                inst[1],
+                                len(trace_events),
+                                len(recorder.vol_ops),
+                                len(frames),
+                            )
                         frames.append(frame)
                         lf = callee
                         regs = callee_regs
@@ -430,6 +439,10 @@ class FlatEngine(Interpreter):
                     dense[_K_RET] += 1
                     cycles += m_ret
                     if len(frames) > base_depth:
+                        if run_rec is not None:
+                            run_rec.exit_callee(
+                                len(trace_events), len(recorder.vol_ops)
+                            )
                         frame = frames[-1]
                         lf = frame[_F_FN]
                         regs = frame[_F_REGS]

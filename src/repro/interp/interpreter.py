@@ -81,9 +81,22 @@ class Machine:
     _site_starts: List[int] = []
     _site_allocs: List[Allocation] = []
 
-    def __init__(self, record_volatile_stores: bool = False, pm_size: int = 1 << 24):
-        self.space = AddressSpace(pm_size=pm_size)
-        self.image = PersistentImage(self.space)
+    def __init__(
+        self,
+        record_volatile_stores: bool = False,
+        pm_size: int = 1 << 24,
+        space: Optional[AddressSpace] = None,
+        image: Optional[PersistentImage] = None,
+    ):
+        # ``space``/``image`` accept clean pooled buffers (see
+        # :class:`~repro.memory.pool.MachinePool.acquire`); they must be
+        # indistinguishable from freshly constructed ones, so the
+        # resulting machine is too.  When ``space`` is given,
+        # ``pm_size`` is ignored.
+        if space is None:
+            space = AddressSpace(pm_size=pm_size)
+        self.space = space
+        self.image = image if image is not None else PersistentImage(space)
         self.cache = CacheModel(self.space, self.image)
         self._stack_provider = lambda: ()
         self.recorder = TraceRecorder(
@@ -386,6 +399,12 @@ class Interpreter:
                 self._pop_frame()
                 self.costs.charge("ret", model.ret)
                 if len(self.frames) > base_depth:
+                    run_rec = self._run_recorder
+                    if run_rec is not None:
+                        recorder = self.machine.recorder
+                        run_rec.exit_callee(
+                            len(recorder.trace.events), len(recorder.vol_ops)
+                        )
                     caller = self.frames[-1]
                     call_instr = caller.current
                     if call_instr is not None and not call_instr.type.is_void:
@@ -532,6 +551,15 @@ class Interpreter:
             if callee.is_declaration:
                 raise InterpreterError(f"call to declaration @{instr.callee}")
             self.costs.charge("call", model.call)
+            run_rec = self._run_recorder
+            if run_rec is not None:
+                recorder = self.machine.recorder
+                run_rec.enter_callee(
+                    instr.iid,
+                    len(recorder.trace.events),
+                    len(recorder.vol_ops),
+                    len(self.frames),
+                )
             self._push_frame(callee, args)
             return
         if is_intrinsic(instr.callee):

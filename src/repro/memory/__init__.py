@@ -18,6 +18,7 @@ from .layout import (
     lines_covering,
 )
 from .persistence import PersistentImage
+from .pool import MachinePool
 
 __all__ = [
     "AddressSpace",
@@ -28,6 +29,7 @@ __all__ = [
     "LineState",
     "line_of",
     "lines_covering",
+    "MachinePool",
     "PersistentImage",
     "PM_BASE",
     "Region",

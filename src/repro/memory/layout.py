@@ -103,6 +103,32 @@ class Region:
         if offset > self._high_water:
             self._high_water = offset
 
+    def reset_high_water(self, offset: int) -> None:
+        """Set the high-water mark exactly (pooled snapshot restore).
+
+        Unlike :meth:`note_high_water` this may *lower* the mark, so the
+        caller must have re-established the invariant that every byte at
+        or beyond ``offset`` is zero.
+        """
+        if offset < 0 or offset > self.size:
+            raise MemoryError_(
+                f"bad high-water {offset} for region {self.name!r}"
+            )
+        self._high_water = offset
+
+    def reset(self) -> None:
+        """Return the region to its freshly constructed state.
+
+        Only the live prefix (up to the high-water mark) can be nonzero,
+        so pooled reuse zeroes just that prefix instead of reallocating
+        the full buffer.
+        """
+        high = self._high_water
+        if high:
+            self.data[:high] = bytes(high)
+        self._brk = 0
+        self._high_water = 0
+
     # -- raw byte access --------------------------------------------------------
 
     def read_bytes(self, addr: int, size: int) -> bytes:
@@ -141,6 +167,11 @@ class AddressSpace:
         self.stack = Region("stack", STACK_BASE, stack_size)
         self.pm = Region("pm", PM_BASE, pm_size)
         self._regions = (self.vol, self.stack, self.pm)
+
+    def reset(self) -> None:
+        """Reset every region in place (pooled reuse)."""
+        for region in self._regions:
+            region.reset()
 
     # -- region queries ----------------------------------------------------------
 

@@ -32,6 +32,11 @@ class PersistentImage:
         #: number of line write-backs performed (a persistence-traffic
         #: counter used by performance benchmarks)
         self.writebacks = 0
+        # Highest durable offset that may hold a nonzero byte.  The
+        # initial copy is nonzero only below the cache view's high-water
+        # mark, and every later mutation raises the bound, so a pooled
+        # reset only has to zero this prefix instead of all 16 MiB.
+        self._dirty_high = space.pm.high_water
 
     # -- write-back ------------------------------------------------------------
 
@@ -41,6 +46,8 @@ class PersistentImage:
         self._durable[offset : offset + CACHE_LINE] = self.space.pm.data[
             offset : offset + CACHE_LINE
         ]
+        if offset + CACHE_LINE > self._dirty_high:
+            self._dirty_high = offset + CACHE_LINE
         self.writebacks += 1
 
     def write_back_lines(self, line_addrs: Iterable[int]) -> None:
@@ -106,3 +113,35 @@ class PersistentImage:
         if len(image) > len(self._durable):
             raise IndexError("restore image larger than the PM region")
         self._durable[: len(image)] = image
+        if len(image) > self._dirty_high:
+            self._dirty_high = len(image)
+
+    # -- pooled reuse ---------------------------------------------------------------
+
+    def restore_prefix(self, durable: bytes) -> None:
+        """Make the durable view exactly ``durable`` padded with zeroes.
+
+        Equivalent to constructing a fresh image over an all-zero PM
+        region and then writing ``durable`` at offset 0, but reuses the
+        existing buffer: stale bytes between ``len(durable)`` and the
+        previous dirty bound are zeroed explicitly.
+        """
+        if len(durable) > len(self._durable):
+            raise IndexError("restore image larger than the PM region")
+        if self._dirty_high > len(durable):
+            self._durable[len(durable) : self._dirty_high] = bytes(
+                self._dirty_high - len(durable)
+            )
+        self._durable[: len(durable)] = durable
+        self._dirty_high = len(durable)
+
+    def reset(self) -> None:
+        """Return the image to its freshly constructed, all-zero state.
+
+        Valid only when the owning :class:`AddressSpace` has been (or is
+        about to be) reset too: both views become all zeroes, in sync.
+        """
+        if self._dirty_high:
+            self._durable[: self._dirty_high] = bytes(self._dirty_high)
+        self._dirty_high = 0
+        self.writebacks = 0

@@ -15,18 +15,24 @@ for the common case:
   that resumes a driver from a materialized snapshot, skipping the
   already-executed calls.
 - :mod:`witness` — the mutation witness: plain-data
-  :class:`~repro.revalidate.witness.InsertionSpec` descriptions of what
-  each committed flush/fence fix inserted, built by the fix pipeline.
+  :class:`~repro.revalidate.witness.InsertionSpec` /
+  :class:`~repro.revalidate.witness.StructuralSpec` descriptions of
+  what each committed fix inserted (flush/fence events, or a cloned
+  callee retargeted at one call site), built by the fix pipeline.
 - :mod:`synthesize` — builds the post-fix trace *without executing
   anything*: inserted flushes/fences change no control flow and no
   data, so their events splice deterministically into the baseline
-  trace (``had_work`` bits recomputed by a cache-line simulation).
+  trace (``had_work`` bits recomputed by a cache-line simulation);
+  structural (clone + retarget) fixes rewrite the recorded callee span
+  in place — same instructions on the same values, only iids, function
+  names, and stack frames differ.
 - :mod:`engine` — the
   :class:`~repro.revalidate.engine.IncrementalRevalidator` tying it to
   the fix pipeline.  Tiering per revalidation: unchanged module →
-  baseline verdict; complete witness → trace synthesis (no execution);
-  witness without insertion specs → snapshot replay from the last
-  unaffected point; structural fixes or any failure → full re-record.
+  baseline verdict; complete witness (flush/fence and/or structural) →
+  trace synthesis (no execution); witness without insertion specs →
+  snapshot replay from the last unaffected point; degraded witness or
+  any failure → full re-record.
 
 The engine's contract is *byte-identity*: detection results, canonical
 reports, and do-no-harm verdicts are identical with the engine on or
@@ -35,7 +41,7 @@ property suite).
 """
 
 from .engine import IncrementalRevalidator, RevalidationOutcome
-from .recording import RecordedRun, RunRecorder, VolAnchorOp
+from .recording import CalleeSpan, RecordedRun, RunRecorder, VolAnchorOp
 from .replay import (
     FlatReplayInterpreter,
     ReplayDivergence,
@@ -43,10 +49,23 @@ from .replay import (
     replay_class,
 )
 from .snapshot import MachineSnapshot
-from .synthesize import SynthesisResult, synthesize_fixed_trace
-from .witness import InsertionSpec, SynthFence, SynthFlush, spec_for_fix
+from .synthesize import (
+    SynthesisResult,
+    synthesize_fixed_trace,
+    synthesize_structural_trace,
+)
+from .witness import (
+    CloneSpec,
+    InsertionSpec,
+    StructuralSpec,
+    SynthFence,
+    SynthFlush,
+    spec_for_fix,
+)
 
 __all__ = [
+    "CalleeSpan",
+    "CloneSpec",
     "FlatReplayInterpreter",
     "IncrementalRevalidator",
     "InsertionSpec",
@@ -57,10 +76,12 @@ __all__ = [
     "ReplayInterpreter",
     "RevalidationOutcome",
     "RunRecorder",
+    "StructuralSpec",
     "SynthFence",
     "SynthFlush",
     "SynthesisResult",
     "VolAnchorOp",
     "spec_for_fix",
     "synthesize_fixed_trace",
+    "synthesize_structural_trace",
 ]

@@ -29,15 +29,25 @@ what Hippocrates inserts for every intraprocedural repair — incremental:
    counts, and orderings continue exactly as a full pass would —
    byte-identical results.
 
+Structural (hoisted) fixes get their own synthesis tier: the recorder
+keeps per-callee sub-trace spans
+(:class:`~repro.revalidate.recording.CalleeSpan`), and a committed call
+retarget with a complete clone witness
+(:class:`~repro.revalidate.witness.StructuralSpec`) is revalidated by
+*rewriting* the retargeted call site's recorded spans — re-mapped iids
+and stacks, spliced covering flushes and the trailing sfence, cache
+effects re-simulated — again with no execution at all (see
+:func:`~repro.revalidate.synthesize.synthesize_structural_trace`).
+
 Fallback rules (all full re-records, counted in
 ``revalidate.fallbacks``):
 
-- a structural fix committed (clone/retarget: execution may diverge
-  anywhere) — also enforced by the analysis manager dropping the
-  ``revalidation_index`` entry on structural commits;
-- an anchor iid is not in the recorded module (the fix anchors at an
-  instruction inserted *after* recording, e.g. a round-2 fix anchored
-  on a round-1 flush);
+- a structural fix committed without a usable witness (an indescribable
+  clone, an incomplete span record, a span overlap the rewriter cannot
+  order, or plain ``structural=True`` with no specs at all);
+- an anchor iid (or a retargeted call site) is not in the recorded
+  module (the fix anchors at an instruction inserted *after*
+  recording, e.g. a round-2 fix anchored on a round-1 flush);
 - the module changed but no anchors were witnessed;
 - the driver diverges during replay, or replay raises at all.
 
@@ -58,11 +68,16 @@ from ..interp import ENGINES, get_default_engine, make_interpreter
 from ..interp.costs import CostModel
 from ..interp.interpreter import Interpreter, Machine
 from ..ir.module import Module
+from ..memory.pool import MachinePool
 from ..trace.trace import PMTrace
 from .recording import RecordedRun, RecordingTraceRecorder, RunRecorder
 from .replay import ReplayDivergence, replay_class
-from .synthesize import synthesize_fixed_trace
-from .witness import InsertionSpec
+from .synthesize import (
+    SynthesisResult,
+    synthesize_fixed_trace,
+    synthesize_structural_trace,
+)
+from .witness import InsertionSpec, StructuralSpec
 
 
 @dataclass
@@ -124,6 +139,11 @@ class IncrementalRevalidator:
     :param engine: execution engine kind, applied identically to
         recording, replay, and fallback runs (default: the process-wide
         default engine).  Both engines yield byte-identical recordings.
+    :param pool: optional :class:`~repro.memory.pool.MachinePool`;
+        recording, replay, and fallback machines then reuse pooled
+        buffers instead of reallocating (replay and fallback machines
+        are retired back into the pool; the machine :meth:`record`
+        returns to its caller is the caller's to release).
     """
 
     def __init__(
@@ -135,6 +155,7 @@ class IncrementalRevalidator:
         max_snapshots: int = 32,
         metrics=None,
         engine: Optional[str] = None,
+        pool: Optional[MachinePool] = None,
     ):
         self.driver = driver
         self.cost_model = cost_model
@@ -146,6 +167,7 @@ class IncrementalRevalidator:
             raise ValueError(
                 f"unknown engine {self.engine!r} (choose from {ENGINES})"
             )
+        self.pool = pool
         self.baseline: Optional[RecordedRun] = None
         self.last_outcome: Optional[RevalidationOutcome] = None
         #: anchor iids committed since the current recording
@@ -155,6 +177,10 @@ class IncrementalRevalidator:
         #: None once any commit lacked one (synthesis then ineligible,
         #: snapshot replay still available)
         self._pending_specs: Optional[list] = []
+        #: structural witnesses for every committed hoisted fix, in
+        #: commit order; None once any structural commit lacked one
+        #: (structural synthesis then ineligible — full re-record)
+        self._pending_struct_specs: Optional[list] = []
         #: set when the analysis manager recomputed the baseline via
         #: :meth:`rebuild_baseline` (a full re-record); the next
         #: revalidation reports mode ``"full"`` even though the fresh
@@ -164,6 +190,16 @@ class IncrementalRevalidator:
     def _count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None and amount:
             self.metrics.counter(name).inc(amount)
+
+    def _new_machine(self) -> Machine:
+        if self.pool is None:
+            return Machine()
+        space, image = self.pool.acquire()
+        return Machine(space=space, image=image)
+
+    def _release_machine(self, machine: Machine) -> None:
+        if self.pool is not None:
+            self.pool.release(machine)
 
     # -- recording ------------------------------------------------------------
 
@@ -185,7 +221,7 @@ class IncrementalRevalidator:
         # A recording machine keeps the volatile-op side channel (for
         # trace synthesis); its trace stays byte-identical to a plain
         # machine's.
-        machine = Machine()
+        machine = self._new_machine()
         trace_recorder = RecordingTraceRecorder(
             lambda: machine._stack_provider()
         )
@@ -236,16 +272,28 @@ class IncrementalRevalidator:
             forks=forks,
             fuel=self.fuel,
             vol_ops=tuple(trace_recorder.vol_ops),
+            spans=tuple(recorder.spans),
+            spans_ok=recorder.spans_ok,
         )
         self._pending_anchors.clear()
         self._pending_structural = False
         self._pending_specs = []
+        self._pending_struct_specs = []
+        if self.metrics is not None:
+            self.metrics.gauge("revalidate.snapshot_bytes").set(
+                sum(
+                    segment.snapshot.byte_size
+                    for segment in recorder.segments
+                    if segment.snapshot is not None
+                )
+            )
         return detection, trace, interp
 
     def rebuild_baseline(self, module: Module) -> RecordedRun:
         """Re-record and return the fresh baseline (the analysis
         manager's compute hook for the ``revalidation_index`` key)."""
-        self.record(module)
+        _, _, interp = self.record(module)
+        self._release_machine(interp.machine)
         self._manager_rebuild = True
         assert self.baseline is not None
         return self.baseline
@@ -257,16 +305,26 @@ class IncrementalRevalidator:
         anchor_iids: Iterable[int],
         structural: bool,
         insertions: Optional[Iterable[InsertionSpec]] = None,
+        structural_specs: Optional[Iterable[StructuralSpec]] = None,
     ) -> None:
         """A fix transaction committed against the module.
 
         ``insertions`` carries the full mutation witness (what was
         inserted after each anchor); without it the synthesis tier is
         unavailable and revalidation uses snapshot replay instead.
+        ``structural_specs`` carries the witnesses of a structural
+        commit's call retargets; a structural commit without them (None
+        *or* empty — some structural mutation went undescribed) makes
+        structural synthesis ineligible and the next revalidation a
+        full re-record.
         """
         self._pending_anchors.update(anchor_iids)
         if structural:
             self._pending_structural = True
+            if not structural_specs:
+                self._pending_struct_specs = None
+            elif self._pending_struct_specs is not None:
+                self._pending_struct_specs.extend(structural_specs)
         if insertions is None:
             self._pending_specs = None
         elif self._pending_specs is not None:
@@ -289,7 +347,7 @@ class IncrementalRevalidator:
         if base is None:
             outcome = self._full(module, "no recording to revalidate against")
         elif self._pending_structural:
-            outcome = self._full(module, "structural fix committed")
+            outcome = self._structural(module, base)
         elif module.fingerprint() == base.module_fingerprint:
             if rebuilt:
                 # The analysis manager just re-recorded (structural
@@ -348,7 +406,8 @@ class IncrementalRevalidator:
         return outcome
 
     def _full(self, module: Module, reason: str) -> RevalidationOutcome:
-        detection, trace, _ = self.record(module)
+        detection, trace, interp = self.record(module)
+        self._release_machine(interp.machine)
         return RevalidationOutcome(
             mode="full",
             detection=detection,
@@ -357,26 +416,14 @@ class IncrementalRevalidator:
             fallback_reason=reason,
         )
 
-    def _synthesize(
-        self, module: Module, base: RecordedRun
+    def _recheck_synthesis(
+        self, base: RecordedRun, synthesis: SynthesisResult
     ) -> RevalidationOutcome:
-        """The fast tier: no execution at all.
-
-        The mutation witness is complete (every committed fix described
-        its inserted flush/gep/fence run), so the post-fix trace is
-        synthesized directly from the baseline trace and the volatile-op
-        side channel, and the checker resumes from the last memoized
-        fork before the first changed event.
-        """
-        assert self._pending_specs is not None
-        synthesis = synthesize_fixed_trace(
-            base.trace, base.vol_ops, self._pending_specs
-        )
+        """Re-check a synthesized trace from the last memoized checker
+        fork at or before its first changed position (every earlier
+        event is the identical baseline object the fork already
+        consumed)."""
         trace = synthesis.trace
-
-        # Resume checking from the last fork at or before the first
-        # changed position (every earlier event is the identical
-        # baseline object the fork already consumed).
         start = base.segments[0]
         for segment in base.segments:
             if (
@@ -406,24 +453,93 @@ class IncrementalRevalidator:
             rechecked_chains=synthesis.affected_lines,
         )
 
+    def _synthesize(
+        self, module: Module, base: RecordedRun
+    ) -> RevalidationOutcome:
+        """The fast tier: no execution at all.
+
+        The mutation witness is complete (every committed fix described
+        its inserted flush/gep/fence run), so the post-fix trace is
+        synthesized directly from the baseline trace and the volatile-op
+        side channel, and the checker resumes from the last memoized
+        fork before the first changed event.
+        """
+        assert self._pending_specs is not None
+        synthesis = synthesize_fixed_trace(
+            base.trace, base.vol_ops, self._pending_specs
+        )
+        return self._recheck_synthesis(base, synthesis)
+
+    def _structural(
+        self, module: Module, base: RecordedRun
+    ) -> RevalidationOutcome:
+        """Structural (hoisted-fix) synthesis, or a full re-record.
+
+        A clone executes the same instructions on the same values, so a
+        complete witness lets the engine rewrite the retargeted call
+        sites' recorded spans instead of re-executing.  Every degraded
+        input degrades to the full tier — never to guessing.
+        """
+        struct_specs = self._pending_struct_specs
+        if not struct_specs:
+            return self._full(
+                module, "structural fix committed without a witness"
+            )
+        if self._pending_specs is None:
+            return self._full(
+                module,
+                "structural commit alongside an unwitnessed insertion",
+            )
+        if not base.spans_ok:
+            return self._full(module, "callee-span record incomplete")
+        if not {s.call_iid for s in struct_specs} <= base.module_iids:
+            return self._full(
+                module,
+                "structural fix at a call site inserted after recording",
+            )
+        if not self._pending_anchors <= base.module_iids:
+            return self._full(
+                module,
+                "fix anchored at an instruction inserted after recording",
+            )
+        try:
+            synthesis = synthesize_structural_trace(
+                base.trace,
+                base.vol_ops,
+                base.spans,
+                struct_specs,
+                self._pending_specs,
+            )
+            outcome = self._recheck_synthesis(base, synthesis)
+        except Exception as exc:
+            return self._full(
+                module,
+                f"structural synthesis failed: {type(exc).__name__}: {exc}",
+            )
+        self._count("revalidate.synth_structural_hits")
+        return outcome
+
     def _incremental(
         self, module: Module, base: RecordedRun, first_affected: int
     ) -> RevalidationOutcome:
         start = base.replay_base(first_affected)
         snapshot = start.snapshot
         assert snapshot is not None
-        machine = snapshot.materialize()
-        replay = replay_class(self.engine)(
-            module,
-            machine,
-            snapshot,
-            skip=base.segments[: start.index],
-            cost_model=self.cost_model,
-            fuel=base.fuel,
-            metrics=self.metrics,
-        )
-        self.driver(replay)
-        suffix = replay.finish()
+        machine = snapshot.materialize(self.pool)
+        try:
+            replay = replay_class(self.engine)(
+                module,
+                machine,
+                snapshot,
+                skip=base.segments[: start.index],
+                cost_model=self.cost_model,
+                fuel=base.fuel,
+                metrics=self.metrics,
+            )
+            self.driver(replay)
+            suffix = replay.finish()
+        finally:
+            self._release_machine(machine)
         if replay.skipped_remaining:
             raise ReplayDivergence(
                 f"driver made fewer calls than recorded "

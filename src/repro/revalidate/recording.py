@@ -87,6 +87,35 @@ class RecordingTraceRecorder(TraceRecorder):
             )
 
 
+@dataclass(frozen=True)
+class CalleeSpan:
+    """One module-function call's footprint in the recorded run.
+
+    Recorded at every intra-module call (not the top-level driver
+    calls): the trace-event and volatile-op windows the callee's
+    execution occupies, the call site's iid, and the frame depth at the
+    call.  Structural synthesis uses spans to find the dynamic
+    executions of a retargeted call site and rewrite exactly the events
+    inside them (see :mod:`repro.revalidate.synthesize`).
+
+    ``entry``/``exit`` are ``len(trace.events)`` at call and return;
+    ``vol_entry``/``vol_exit`` are ``len(recorder.vol_ops)`` at the same
+    instants, pinning the interleaving of the volatile side channel
+    against the span boundaries.  ``depth`` is the caller's frame count
+    *before* the callee frame is pushed — stack frames with index >=
+    ``depth`` in an event recorded inside the span belong to the callee
+    (or deeper), which is what lets the rewriter re-map exactly the
+    cloned suffix of each call stack.
+    """
+
+    call_iid: int
+    entry: int
+    exit: int
+    vol_entry: int
+    vol_exit: int
+    depth: int
+
+
 @dataclass
 class CallRecord:
     """One top-level driver call of the recording run."""
@@ -121,8 +150,45 @@ class RunRecorder:
         self.segments: List[CallRecord] = []
         self._stride = 1
         self._snapshot_count = 0
+        #: completed callee spans, in execution (return) order
+        self.spans: List[CalleeSpan] = []
+        self._open: List[Tuple[int, int, int, int]] = []
+        #: False once an exception unwound past an open callee — the
+        #: span record is then incomplete and structural synthesis must
+        #: not trust it
+        self.spans_ok = True
+
+    # -- callee spans (structural-synthesis witness) ---------------------------
+
+    def enter_callee(
+        self, call_iid: int, trace_pos: int, vol_pos: int, depth: int
+    ) -> None:
+        """The interpreter is about to push a module-callee frame."""
+        self._open.append((call_iid, trace_pos, vol_pos, depth))
+
+    def exit_callee(self, trace_pos: int, vol_pos: int) -> None:
+        """The innermost open callee just returned."""
+        call_iid, entry, vol_entry, depth = self._open.pop()
+        self.spans.append(
+            CalleeSpan(
+                call_iid=call_iid,
+                entry=entry,
+                exit=trace_pos,
+                vol_entry=vol_entry,
+                vol_exit=vol_pos,
+                depth=depth,
+            )
+        )
+
+    def _check_balanced(self) -> None:
+        # An exception that unwound out of a top-level call leaves open
+        # callee entries behind; the span record is unusable from here.
+        if self._open:
+            self.spans_ok = False
+            self._open.clear()
 
     def begin_call(self, interp: Interpreter, fn_name: str, args: List[int]) -> None:
+        self._check_balanced()
         segment = CallRecord(
             index=len(self.segments),
             fn_name=fn_name,
@@ -140,16 +206,26 @@ class RunRecorder:
         interp._seg_iids = segment.iids
 
     def end_call(self, interp: Interpreter, result: ExecutionResult) -> None:
+        self._check_balanced()
         self.segments[-1].result = result
         interp._seg_iids = None
 
     def _thin(self) -> None:
-        """Double the snapshot stride, dropping off-stride snapshots."""
-        self._stride *= 2
-        for segment in self.segments:
-            if segment.snapshot is not None and segment.index % self._stride:
-                segment.snapshot = None
-                self._snapshot_count -= 1
+        """Double the snapshot stride until back under budget.
+
+        One doubling halves (roughly) the snapshot count, which is not
+        necessarily enough — e.g. budget 32 exceeded at 33 thins to 17,
+        but a budget lowered between runs, or accounting drift, can
+        leave a single doubling still over.  Loop until under budget;
+        termination is guaranteed because segment 0 is on-stride for
+        every stride, so the count converges to 1 <= max_snapshots.
+        """
+        while self._snapshot_count > self.max_snapshots:
+            self._stride *= 2
+            for segment in self.segments:
+                if segment.snapshot is not None and segment.index % self._stride:
+                    segment.snapshot = None
+                    self._snapshot_count -= 1
 
 
 @dataclass
@@ -178,6 +254,11 @@ class RecordedRun:
     fuel: int
     #: volatile-target anchor executions (the synthesis side channel)
     vol_ops: Tuple[VolAnchorOp, ...] = ()
+    #: completed callee spans, in execution (return) order
+    spans: Tuple[CalleeSpan, ...] = ()
+    #: True when the span record is complete (no exception ever unwound
+    #: past an open callee during recording)
+    spans_ok: bool = True
 
     def snapshot_segments(self) -> List[CallRecord]:
         return [s for s in self.segments if s.snapshot is not None]

@@ -23,6 +23,7 @@ Two properties make snapshots cheap and safe:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +31,7 @@ from ..interp.interpreter import Allocation, Interpreter, Machine
 from ..memory.cache import CacheModel, LineState
 from ..memory.layout import AddressSpace, Region
 from ..memory.persistence import PersistentImage
+from ..memory.pool import MachinePool
 from ..trace.trace import TraceRecorder
 
 #: (brk, high_water, live bytes up to high_water) for one region
@@ -46,9 +48,17 @@ def _capture_region(region: Region) -> _RegionState:
 
 def _restore_region(region: Region, state: _RegionState) -> None:
     brk, high, data = state
+    # The target may be a *reused* pooled region whose previous run left
+    # nonzero bytes above this snapshot's high-water mark; zero that gap
+    # explicitly so the restored region is byte-identical to a fresh one
+    # (every byte at or beyond the mark must be zero by invariant).
+    if region.high_water > len(data):
+        region.data[len(data) : region.high_water] = bytes(
+            region.high_water - len(data)
+        )
     region.data[: len(data)] = data
     region.set_brk(brk)
-    region.note_high_water(high)
+    region.reset_high_water(high)
 
 
 @dataclass(frozen=True)
@@ -125,25 +135,37 @@ class MachineSnapshot:
             output=tuple(interp.output),
         )
 
-    def materialize(self) -> Machine:
+    def materialize(self, pool: Optional[MachinePool] = None) -> Machine:
         """Build an independent machine in this snapshot's state.
 
-        Every mutable container is freshly constructed, so concurrent
-        or repeated replays from one snapshot never alias state.
+        Every mutable container is freshly constructed (or, with a
+        ``pool``, reset in place from a retired pair), so concurrent or
+        repeated replays from one snapshot never alias state.
         """
-        space = AddressSpace(
-            vol_size=self.vol_size,
-            stack_size=self.stack_size,
-            pm_size=self.pm_size,
-        )
+        parts = None
+        if pool is not None:
+            parts = pool.acquire_raw(
+                self.vol_size, self.stack_size, self.pm_size
+            )
+        if parts is None:
+            space = AddressSpace(
+                vol_size=self.vol_size,
+                stack_size=self.stack_size,
+                pm_size=self.pm_size,
+            )
+            image = None
+        else:
+            space, image = parts
         _restore_region(space.vol, self.vol)
         _restore_region(space.stack, self.stack)
         _restore_region(space.pm, self.pm)
-        # PersistentImage seeds its durable view from the cache view;
-        # overwrite the live prefix with the recorded durable bytes
-        # (beyond the high-water mark both views are all zeroes).
-        image = PersistentImage(space)
-        image._durable[: len(self.durable)] = self.durable
+        if image is None:
+            # PersistentImage seeds its durable view from the cache
+            # view; beyond the high-water mark both views are all
+            # zeroes, so restoring the recorded durable prefix leaves
+            # the image exactly as captured.
+            image = PersistentImage(space)
+        image.restore_prefix(self.durable)
         image.writebacks = self.writebacks
         cache = CacheModel(space, image)
         for line_addr, dirty, flushing in self.lines:
@@ -173,10 +195,20 @@ class MachineSnapshot:
 
     @property
     def byte_size(self) -> int:
-        """Approximate retained payload (observability/thinning)."""
-        return (
+        """Approximate retained payload (observability/thinning).
+
+        Counts the region/durable prefixes plus the per-line durability
+        sets and the allocation registry — the two containers that can
+        dominate a snapshot on store-heavy, allocation-heavy workloads.
+        """
+        payload = (
             len(self.vol[2])
             + len(self.stack[2])
             + len(self.pm[2])
             + len(self.durable)
         )
+        for _line_addr, dirty, flushing in self.lines:
+            payload += sys.getsizeof(dirty) + sys.getsizeof(flushing)
+        for alloc in self.allocations:
+            payload += sys.getsizeof(alloc)
+        return payload

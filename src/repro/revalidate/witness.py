@@ -71,6 +71,51 @@ class InsertionSpec:
     ops: Tuple[SynthOp, ...]
 
 
+@dataclass(frozen=True)
+class CloneSpec:
+    """One persistent clone created by a structural (hoisted) fix.
+
+    ``clone_function`` copies a function instruction-for-instruction:
+    same control flow, same operands, same source locations — only the
+    name and the instruction iids are fresh, plus covering flushes
+    inserted after each maybe-PM store.  ``iid_map`` is the
+    original→clone iid correspondence for the *copied* instructions;
+    ``flush_specs`` describes the inserted covering flushes exactly like
+    a flush-fix witness, anchored at the clone's store iids.
+    """
+
+    orig_name: str
+    clone_name: str
+    iid_map: Tuple[Tuple[int, int], ...]
+    flush_specs: Tuple[InsertionSpec, ...]
+
+
+@dataclass(frozen=True)
+class StructuralSpec:
+    """One committed hoisted fix: a call retargeted onto a clone tree.
+
+    Captures everything trace synthesis needs to rewrite the recorded
+    callee spans of ``call_iid`` instead of re-executing: the clone
+    closure (the retargeted callee plus every transitively re-targeted
+    nested callee), and the sfence inserted after the call site (None
+    when an adjacent fence already ordered it).
+
+    The rewrite is sound by the same observational-linearity argument as
+    flush/fence synthesis: a clone executes the same instructions on the
+    same values (allocas replay in the same order, so even stack
+    addresses coincide); only iids, function names and the inserted
+    flush/fence events differ.
+    """
+
+    call_iid: int
+    #: the call site's enclosing function (fence stack synthesis)
+    caller_function: str
+    orig_callee: str
+    clone_callee: str
+    fence: Optional[SynthFence]
+    clones: Tuple[CloneSpec, ...]
+
+
 def spec_for_fix(
     anchor: Instruction, inserted: Iterable[Instruction]
 ) -> Optional[InsertionSpec]:

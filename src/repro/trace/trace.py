@@ -74,6 +74,11 @@ class TraceRecorder:
     #: for flushes of volatile addresses (which record no trace event).
     record_vol_ops = False
 
+    #: the volatile-op side channel itself; recording subclasses shadow
+    #: this with a list, so ``len(recorder.vol_ops)`` is uniformly valid
+    #: (the callee-span hooks read it on every module call)
+    vol_ops: tuple = ()
+
     def note_vol_flush(self) -> None:  # pragma: no cover - subclass hook
         """Called for a volatile-target flush when ``record_vol_ops``."""
 

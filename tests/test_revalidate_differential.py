@@ -25,10 +25,14 @@ from repro.revalidate import IncrementalRevalidator
 from repro.supervisor import RepairTask, SupervisorConfig, run_batch
 from repro.supervisor.tasks import corpus_tasks, execute_task, run_case
 
-#: Cases whose repairs are flush/fence-only (synthesis-tier eligible);
-#: every other corpus case needs a structural (clone/retarget) fix and
-#: must fall back to a full re-record.
+#: Cases whose repairs are flush/fence-only; every other corpus case
+#: also needs a structural (clone/retarget) fix.  Both kinds now take
+#: the synthesis tier — flush/fence via event splicing, structural via
+#: callee-span rewriting — with zero re-execution.
 SYNTH_CASES = {"PMDK-452", "PMDK-940", "PMDK-943", "P-CLHT"}
+STRUCTURAL_CASES = sorted(
+    case.case_id for case in all_cases() if case.case_id not in SYNTH_CASES
+)
 
 CASE_IDS = [case.case_id for case in all_cases()]
 
@@ -75,16 +79,14 @@ def test_outcome_equivalence_and_expected_mode(case_id):
     assert ref.revalidation is None  # escape hatch: engine never built
     assert inc.revalidation is not None
     mode = inc.revalidation["mode"]
-    if case_id in SYNTH_CASES:
-        assert mode == "synthesized"
-        assert inc.revalidation["chains_rechecked"] >= 1
-        assert inc.revalidation["segments_replayed"] == 0
-    else:
-        assert mode == "full"
-        assert inc.revalidation["fallback_reason"]
+    assert mode == "synthesized"
+    assert inc.revalidation["chains_rechecked"] >= 1
+    assert inc.revalidation["segments_replayed"] == 0
 
 
-@pytest.mark.parametrize("case_id", sorted(SYNTH_CASES))
+@pytest.mark.parametrize(
+    "case_id", sorted(SYNTH_CASES) + STRUCTURAL_CASES
+)
 def test_synthesized_trace_and_detection_are_byte_exact(case_id):
     """Against the *same repaired module instance*, the synthesized
     trace must equal a from-scratch run event for event, and the
@@ -190,6 +192,43 @@ def test_kill_resume_matches_non_incremental_baseline(tmp_path):
     record = run_kill_resume(
         on_tasks,
         str(tmp_path / "kill-on.journal"),
+        boundary=4,
+        baseline_bytes=baseline,
+        torn=False,
+    )
+    assert record.ok, record.problems
+
+
+# ---------------------------------------------------------------------------
+# machine pooling
+# ---------------------------------------------------------------------------
+
+
+def test_batch_reports_byte_identical_across_machine_pool_flag(tmp_path):
+    """Pooled buffer reuse is a pure allocation optimisation: the batch
+    canonical report must not change with the pool disabled."""
+    on_tasks = corpus_tasks(BATCH_CASES, machine_pool=True)
+    off_tasks = corpus_tasks(BATCH_CASES, machine_pool=False)
+    on = run_batch(on_tasks, journal_path=str(tmp_path / "pool-on.journal"),
+                   config=_fast_config())
+    off = run_batch(off_tasks, journal_path=str(tmp_path / "pool-off.journal"),
+                    config=_fast_config())
+    assert on.canonical_json() == off.canonical_json()
+
+
+def test_kill_resume_pooled_matches_unpooled_baseline(tmp_path):
+    """Kill a *pooled* batch mid-task, resume it, and compare against an
+    uninterrupted *unpooled* run: reused buffers must never leak state
+    into the canonical bytes, even across a death boundary."""
+    off_tasks = corpus_tasks(BATCH_CASES, machine_pool=False)
+    baseline = run_batch(
+        off_tasks, journal_path=str(tmp_path / "nopool.journal"),
+        config=_fast_config(),
+    ).canonical_json()
+    on_tasks = corpus_tasks(BATCH_CASES, machine_pool=True)
+    record = run_kill_resume(
+        on_tasks,
+        str(tmp_path / "kill-pool.journal"),
         boundary=4,
         baseline_bytes=baseline,
         torn=False,

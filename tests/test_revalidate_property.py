@@ -21,6 +21,7 @@ from repro.core.hippocrates import Hippocrates
 from repro.detect import pmemcheck_run
 from repro.memory.layout import lines_covering
 from repro.revalidate import IncrementalRevalidator
+from repro.revalidate.recording import CallRecord, RunRecorder
 from repro.ir import I64, ModuleBuilder, PTR
 
 #: Each element: (persist?, slot, value, via_helper?) — the same shape
@@ -167,3 +168,62 @@ def test_structural_commit_forces_full_rerecord(actions):
     outcome = fixer.revalidate()
     assert outcome.mode == "full"
     assert _bug_records(outcome.detection) == _bug_records(first.detection)
+
+
+# ---------------------------------------------------------------------------
+# snapshot thinning
+# ---------------------------------------------------------------------------
+
+
+def _recorder_with_segments(n_segments, max_snapshots):
+    """A recorder as it stands right after a recording made every
+    segment on-stride: one (sentinel) snapshot per segment."""
+    recorder = RunRecorder(max_snapshots=max_snapshots)
+    for index in range(n_segments):
+        recorder.segments.append(
+            CallRecord(
+                index=index,
+                fn_name="f",
+                args=[],
+                trace_start=0,
+                seq_start=0,
+                steps_start=0,
+                snapshot=object(),
+            )
+        )
+    recorder._snapshot_count = n_segments
+    return recorder
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_segments=st.integers(min_value=1, max_value=200),
+    max_snapshots=st.integers(min_value=1, max_value=64),
+    lowered=st.integers(min_value=1, max_value=64),
+)
+def test_thin_always_reaches_budget(n_segments, max_snapshots, lowered):
+    """One doubling halves the count at best, which is not always
+    enough — ``_thin`` must *loop* until under budget, for any segment
+    count and any budget, including a budget lowered after the fact."""
+    recorder = _recorder_with_segments(n_segments, max_snapshots)
+    recorder._thin()
+
+    def check(rec):
+        retained = [s.index for s in rec.segments if s.snapshot is not None]
+        assert rec._snapshot_count == len(retained)
+        assert len(retained) <= rec.max_snapshots
+        # segment 0 is on-stride for every stride: replay can always
+        # resume from the very beginning
+        assert retained[0] == 0
+        # exactly the on-stride segments survive (the replay tier's
+        # nearest-snapshot search assumes this regularity)
+        assert retained == [
+            i for i in range(len(rec.segments)) if i % rec._stride == 0
+        ]
+
+    check(recorder)
+    # the budget can shrink between runs (engine reconfiguration); the
+    # next _thin call must converge from the already-thinned state too
+    recorder.max_snapshots = lowered
+    recorder._thin()
+    check(recorder)

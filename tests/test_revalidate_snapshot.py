@@ -1,5 +1,5 @@
 """Snapshot isolation: replaying from a memoized snapshot must never
-mutate it.
+mutate it — and pooled machine reuse must never leak state between runs.
 
 The latent hazard: :class:`MachineSnapshot` memoizes the machine's
 cache-durability state, whose per-line ``dirty_stores`` /
@@ -9,12 +9,23 @@ replay's fences would drain the snapshot's sets and a second replay
 from the same snapshot would see already-fenced lines — silently
 changing detection results.  These are the regression tests for the
 deep-copy-both-ways contract (see ``src/repro/revalidate/snapshot.py``).
+
+The pooled variants add a second hazard: a reused
+:class:`~repro.memory.pool.MachinePool` buffer carries the *previous*
+run's bytes above the new run's high-water mark.  A restore that only
+copied its own prefix would leave that stale suffix in place — invisible
+until some later allocation reads "zero" memory that isn't.
 """
 
 from __future__ import annotations
 
+import sys
+
 from repro.core.hippocrates import Hippocrates
+from repro.detect import pmemcheck_run
 from repro.ir import I64, ModuleBuilder, PTR
+from repro.memory.pool import MachinePool
+from repro.obs.metrics import MetricsRegistry
 from repro.revalidate import IncrementalRevalidator
 
 
@@ -142,3 +153,138 @@ def test_second_replay_from_same_snapshot_is_unaffected_by_first():
     assert len(second.trace.events) == len(first.trace.events)
     for ours, theirs in zip(second.trace.events, first.trace.events):
         assert ours == theirs
+
+
+# ---------------------------------------------------------------------------
+# pooled machine reuse
+# ---------------------------------------------------------------------------
+
+
+def _region_state(region):
+    return (bytes(region.data), region.brk, region.high_water)
+
+
+def _machine_state(machine):
+    """Every byte a pooled-reuse bug could corrupt: full region buffers
+    (not just live prefixes), allocator watermarks, the durable view."""
+    space = machine.space
+    return (
+        _region_state(space.vol),
+        _region_state(space.stack),
+        _region_state(space.pm),
+        machine.image.snapshot_durable(),
+    )
+
+
+def test_pooled_detect_run_byte_identical_to_fresh():
+    """A detection run on *reused* pooled buffers must produce the same
+    trace, detection, and final machine bytes as a fresh-buffer run."""
+    module = build_two_phase_module()
+    fresh_detection, fresh_trace, fresh_interp = pmemcheck_run(module, drive)
+
+    pool = MachinePool()
+    _, _, cold = pmemcheck_run(module, drive, pool=pool)  # miss: fresh pair
+    pool.release(cold.machine)
+    warm_detection, warm_trace, warm = pmemcheck_run(module, drive, pool=pool)
+    assert pool.hits >= 1  # the warm run actually reused buffers
+
+    assert [b.describe() for b in warm_detection.bugs] == [
+        b.describe() for b in fresh_detection.bugs
+    ]
+    assert len(warm_trace.events) == len(fresh_trace.events)
+    for ours, theirs in zip(warm_trace.events, fresh_trace.events):
+        assert ours == theirs
+    assert _machine_state(warm.machine) == _machine_state(fresh_interp.machine)
+
+
+def test_pooled_materialize_zeroes_stale_suffix():
+    """Regression: materializing a snapshot into a pooled pair whose
+    previous run wrote *above* this snapshot's high-water marks must
+    zero the gap — prefix-only restores leave the stale suffix live."""
+    module = build_two_phase_module()
+    engine, _, _, interp = _record(module)
+    snapshot = _boundary_snapshot(engine)
+
+    pool = MachinePool()
+    _, _, dirty_interp = pmemcheck_run(module, drive, pool=pool)
+    machine = dirty_interp.machine
+    # push every high-water mark well past anything the boundary
+    # snapshot recorded, then poison the durable view too
+    for region in (machine.space.vol, machine.space.stack, machine.space.pm):
+        region.write_bytes(region.base + (1 << 20), b"\xab" * 4096)
+    machine.image.restore(b"\xcd" * (1 << 21))
+    pool.release(machine)
+
+    pooled = snapshot.materialize(pool)
+    assert pool.hits >= 1  # the dirty pair really was reused
+    fresh = snapshot.materialize()
+    assert _machine_state(pooled) == _machine_state(fresh)
+
+
+def test_double_replay_from_one_snapshot_on_pooled_regions():
+    """The replay tier releases its machine back into the pool, so a
+    second replay resumes onto the first replay's retired buffers —
+    shrinking high-water marks between uses.  Verdicts must match."""
+    module = build_two_phase_module()
+    pool = MachinePool()
+    engine = IncrementalRevalidator(drive, pool=pool)
+    detection, trace, interp = engine.record(module)
+    assert detection.bug_count >= 1
+
+    fixer = Hippocrates(
+        module, trace, interp.machine, heuristic="off", revalidator=engine
+    )
+    fixer.apply(fixer.compute_fixes())
+    engine.note_commit(set(), structural=False, insertions=None)
+
+    first = fixer.revalidate()
+    assert first.mode == "incremental"
+    second = fixer.revalidate()
+    assert second.mode == "incremental"
+    assert pool.hits >= 1  # second replay materialized onto pooled buffers
+    assert [b.as_record() for b in second.detection.bugs] == [
+        b.as_record() for b in first.detection.bugs
+    ]
+    assert len(second.trace.events) == len(first.trace.events)
+    for ours, theirs in zip(second.trace.events, first.trace.events):
+        assert ours == theirs
+
+
+# ---------------------------------------------------------------------------
+# snapshot accounting
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_bytes_gauge_matches_byte_size():
+    """The ``revalidate.snapshot_bytes`` gauge must equal the summed
+    ``byte_size`` of every retained snapshot, and ``byte_size`` itself
+    must dominate a ``sys.getsizeof``-based floor over the payload it
+    claims to count (region prefixes, durable prefix, per-line
+    durability sets, allocation registry)."""
+    module = build_two_phase_module()
+    metrics = MetricsRegistry()
+    engine = IncrementalRevalidator(drive, metrics=metrics)
+    engine.record(module)
+
+    snapshots = [
+        segment.snapshot
+        for segment in engine.baseline.segments
+        if segment.snapshot is not None
+    ]
+    assert snapshots
+    total = sum(snap.byte_size for snap in snapshots)
+    assert metrics.gauge("revalidate.snapshot_bytes").value == total
+
+    for snap in snapshots:
+        floor = (
+            len(snap.vol[2])
+            + len(snap.stack[2])
+            + len(snap.pm[2])
+            + len(snap.durable)
+            + sum(
+                sys.getsizeof(dirty) + sys.getsizeof(flushing)
+                for _addr, dirty, flushing in snap.lines
+            )
+            + sum(sys.getsizeof(alloc) for alloc in snap.allocations)
+        )
+        assert snap.byte_size >= floor
